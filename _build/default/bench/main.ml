@@ -1,0 +1,104 @@
+(** The benchmark harness: one runner per table/figure of the paper's
+    evaluation (see DESIGN.md §4 for the experiment index), plus
+    Bechamel micro-benchmarks of DynaCut's hot paths.
+
+    Usage: [dune exec bench/main.exe] runs everything;
+    [dune exec bench/main.exe -- fig6 fig8] runs a subset. *)
+
+let fmt = Format.std_formatter
+
+(* ---------- bechamel micro-benchmarks ---------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* a frozen rkv checkpoint as a realistic workload for the codecs *)
+  let c = Workload.spawn Workload.rkv in
+  Workload.wait_ready c;
+  Machine.freeze c.Workload.m ~pid:c.Workload.pid;
+  let img = Checkpoint.dump c.Workload.m ~pid:c.Workload.pid () in
+  let blob = Images.encode img in
+  let exe = Option.get (Vfs.find_self c.Workload.m.Machine.fs "rkv") in
+  let text = Option.get (Self.find_section exe ".text") in
+  let log_init, log_srv = Common.server_phases Workload.rkv ~requests:Workload.kv_wanted in
+  let g_init = Covgraph.of_log log_init and g_srv = Covgraph.of_log log_srv in
+  let insns =
+    Encode.program
+      [ Insn.Mov_ri (Reg.Rax, 42L); Insn.Add_ri (Reg.Rax, 1); Insn.Cmp_ri (Reg.Rax, 43); Insn.Ret ]
+  in
+  [
+    Test.make ~name:"image-encode" (Staged.stage (fun () -> ignore (Images.encode img)));
+    Test.make ~name:"image-decode" (Staged.stage (fun () -> ignore (Images.decode blob)));
+    Test.make ~name:"covgraph-diff" (Staged.stage (fun () -> ignore (Covgraph.diff g_init g_srv)));
+    Test.make ~name:"cfg-recovery" (Staged.stage (fun () -> ignore (Cfg.of_self exe)));
+    Test.make ~name:"gadget-scan-text"
+      (Staged.stage (fun () -> ignore (Gadget.scan_bytes text.Self.sec_data)));
+    Test.make ~name:"decode-4-insns"
+      (Staged.stage (fun () -> ignore (Decode.disassemble insns)));
+    Test.make ~name:"checkpoint-dump"
+      (Staged.stage (fun () -> ignore (Checkpoint.dump c.Workload.m ~pid:c.Workload.pid ())));
+  ]
+
+let run_micro () =
+  Common.section fmt "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.fprintf fmt "  %-24s %12.1f ns/run@." name est
+          | _ -> Format.fprintf fmt "  %-24s (no estimate)@." name)
+        analyzed)
+    (micro_tests ());
+  Format.fprintf fmt "@."
+
+(* ---------- experiment registry ---------- *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("fig2", "memory footprint maps (605.mcf_s, ltpd)", fun () -> ignore (Fig2.run fmt));
+    ("fig4", "tracediff feature discovery output", fun () -> ignore (Fig4.run fmt));
+    ("fig6", "feature-customization latency breakdown", fun () -> ignore (Fig6.run fmt));
+    ("fig7", "init-code removal latency + validation", fun () -> ignore (Fig7.run fmt));
+    ("fig8", "rkv throughput timeline (disable/re-enable SET)", fun () -> ignore (Fig8.run fmt));
+    ("fig9", "executed vs removed basic blocks", fun () -> ignore (Fig9.run fmt));
+    ("fig10", "live blocks over time vs RAZOR/Chisel", fun () -> ignore (Fig10.run fmt));
+    ("table1", "Redis CVE mitigation", fun () -> ignore (Table1.run fmt));
+    ("security", "PLT removal + BROP gadget census (§4.2)", fun () -> ignore (Security.run fmt));
+    ("ablation", "policy / normalization / autophase / libcut ablations", fun () -> ignore (Ablation.run fmt));
+    ("micro", "bechamel micro-benchmarks", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let to_run =
+    match args with
+    | [] | [ "all" ] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.find_opt (fun (id, _, _) -> id = n) experiments with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S; available: %s\n" n
+                  (String.concat ", " (List.map (fun (id, _, _) -> id) experiments));
+                exit 2)
+          names
+  in
+  Format.fprintf fmt "DynaCut reproduction benchmark harness (%d experiments)@."
+    (List.length to_run);
+  List.iter
+    (fun (id, desc, f) ->
+      Format.fprintf fmt "@.>>> %s — %s@." id desc;
+      let (), dt = Stats.time_it f in
+      Format.fprintf fmt "<<< %s done in %.2fs (host CPU)@." id dt)
+    to_run;
+  Format.fprintf fmt "@.All experiments complete.@."

@@ -1,0 +1,261 @@
+(** dynacut — the command-line front end.
+
+    Mirrors the tooling around the paper's artifact: run guest apps on
+    the simulated machine, collect drcov traces, diff them (tracediff),
+    apply a dynamic cut and interact with the customized process, inspect
+    checkpoint images (crit), disassemble binaries, and regenerate the
+    paper's tables/figures (report).
+
+    Everything runs against in-memory machines: trace files and images
+    can be exported to the host filesystem for inspection. *)
+
+open Cmdliner
+
+let find_app name =
+  match
+    List.find_opt (fun (a : Workload.app) -> a.Workload.a_name = name) Workload.all_apps
+  with
+  | Some a -> a
+  | None ->
+      Printf.eprintf "unknown app %S; known: %s\n" name
+        (String.concat ", "
+           (List.map (fun (a : Workload.app) -> a.Workload.a_name) Workload.all_apps));
+    exit 2
+
+let app_arg =
+  let doc = "Guest application (ltpd | ngx | rkv | 600.perlbench_s | ...)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let out_arg =
+  let doc = "Write output to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let emit out content =
+  match out with
+  | None -> print_string content
+  | Some path ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length content)
+
+(* ---------- run ---------- *)
+
+let run_cmd =
+  let requests =
+    let doc = "Send $(docv) to the server after boot (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "r"; "request" ] ~docv:"REQ" ~doc)
+  in
+  let action app reqs =
+    let c = Workload.spawn (find_app app) in
+    Workload.wait_ready c;
+    Printf.printf "%s ready (pid %d)\n" app c.Workload.pid;
+    List.iter
+      (fun r ->
+        let r = Scanf.unescaped r in
+        let resp = Workload.rpc c r in
+        Printf.printf ">> %S\n<< %S\n" r resp)
+      reqs;
+    if reqs = [] && (find_app app).Workload.a_port = None then begin
+      let st = Workload.run_to_exit c in
+      Printf.printf "%s\n" (Proc.state_to_string st)
+    end;
+    print_string (Workload.console c)
+  in
+  let doc = "Boot a guest application and optionally drive requests." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ app_arg $ requests)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let requests =
+    let doc = "Request to send during the serving phase (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "r"; "request" ] ~docv:"REQ" ~doc)
+  in
+  let init_out =
+    let doc = "Also dump the initialization-phase coverage to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "init-coverage" ] ~docv:"FILE" ~doc)
+  in
+  let action app reqs out init_out =
+    let app = find_app app in
+    let reqs = List.map Scanf.unescaped reqs in
+    let init, serving =
+      Workload.trace_requests ~app ~requests:reqs ~nudge_at_ready:true ()
+    in
+    (match (init, init_out) with
+    | Some log, Some path -> emit (Some path) (Drcov.to_string log)
+    | _ -> ());
+    emit out (Drcov.to_string serving)
+  in
+  let doc = "Run an app under the coverage collector; print drcov logs." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const action $ app_arg $ requests $ out_arg $ init_out)
+
+(* ---------- tracediff ---------- *)
+
+let tracediff_cmd =
+  let wanted =
+    let doc = "drcov log of wanted behaviour (host file, repeatable)." in
+    Arg.(non_empty & opt_all file [] & info [ "w"; "wanted" ] ~docv:"FILE" ~doc)
+  in
+  let undesired =
+    let doc = "drcov log of undesired behaviour (host file, repeatable)." in
+    Arg.(non_empty & opt_all file [] & info [ "u"; "undesired" ] ~docv:"FILE" ~doc)
+  in
+  let read_log path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Drcov.of_string s
+  in
+  let action wanted undesired =
+    let report =
+      Tracediff.feature_blocks
+        ~wanted:(List.map read_log wanted)
+        ~undesired:(List.map read_log undesired)
+        ()
+    in
+    Format.printf "%a" Tracediff.pp_report report
+  in
+  let doc = "Diff wanted vs undesired coverage logs (the paper's tracediff.py)." in
+  Cmd.v (Cmd.info "tracediff" ~doc) Term.(const action $ wanted $ undesired)
+
+(* ---------- cut ---------- *)
+
+let cut_cmd =
+  let feature =
+    let doc =
+      "Feature to disable: 'put-delete' (web servers), or an rkv command \
+       name such as SET, STRALGO, SETRANGE, CONFIG."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+  in
+  let probe =
+    let doc = "Request to send to the customized server (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "r"; "request" ] ~docv:"REQ" ~doc)
+  in
+  let reenable =
+    let doc = "Re-enable the feature afterwards and probe again." in
+    Arg.(value & flag & info [ "reenable" ] ~doc)
+  in
+  let action app feature probes reenable =
+    let app = find_app app in
+    let blocks, redirect =
+      match (app.Workload.a_name, feature) with
+      | ("ltpd" | "ngx"), "put-delete" ->
+          ( Common.web_feature_blocks app,
+            if app.Workload.a_name = "ltpd" then "ltpd_403" else "ngx_declined" )
+      | "rkv", cmd ->
+          (Common.rkv_feature_blocks [ cmd ^ " somekey someval\n" ], "rkv_err")
+      | _ ->
+          Printf.eprintf "no feature %S for %s\n" feature app.Workload.a_name;
+          exit 2
+    in
+    let c = Workload.spawn app in
+    Workload.wait_ready c;
+    let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+    let journals, t =
+      Dynacut.cut session ~blocks
+        ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
+    in
+    Format.printf "cut %d blocks: %a@." (List.length blocks) Dynacut.pp_timings t;
+    List.iter
+      (fun r ->
+        let r = Scanf.unescaped r in
+        Printf.printf ">> %S\n<< %S\n" r (Workload.rpc c r))
+      probes;
+    if reenable then begin
+      let t = Dynacut.reenable session journals in
+      Format.printf "re-enabled: %a@." Dynacut.pp_timings t;
+      List.iter
+        (fun r ->
+          let r = Scanf.unescaped r in
+          Printf.printf ">> %S\n<< %S\n" r (Workload.rpc c r))
+        probes
+    end
+  in
+  let doc = "Dynamically disable a feature of a running server, then probe it." in
+  Cmd.v (Cmd.info "cut" ~doc) Term.(const action $ app_arg $ feature $ probe $ reenable)
+
+(* ---------- crit ---------- *)
+
+let crit_cmd =
+  let mode =
+    let doc = "One of: decode (image to text), mems (VMA table)." in
+    Arg.(value & pos 1 string "mems" & info [] ~docv:"MODE" ~doc)
+  in
+  let action app mode out =
+    let c = Workload.spawn (find_app app) in
+    Workload.wait_ready c;
+    Machine.freeze c.Workload.m ~pid:c.Workload.pid;
+    let img = Checkpoint.dump c.Workload.m ~pid:c.Workload.pid () in
+    match mode with
+    | "decode" -> emit out (Crit.decode_to_text (Images.encode img))
+    | "mems" -> emit out (Crit.show_mems img)
+    | m ->
+        Printf.eprintf "unknown crit mode %S\n" m;
+        exit 2
+  in
+  let doc = "Checkpoint an app and inspect its images (the CRIT tool)." in
+  Cmd.v (Cmd.info "crit" ~doc) Term.(const action $ app_arg $ mode $ out_arg)
+
+(* ---------- disasm ---------- *)
+
+let disasm_cmd =
+  let action app out =
+    let exe = Common.app_exe (find_app app) in
+    let buf = Buffer.create 65536 in
+    let fmt = Format.formatter_of_buffer buf in
+    Self.pp fmt exe;
+    List.iter
+      (fun (s : Self.section) ->
+        if s.Self.sec_prot.Self.p_x then begin
+          Format.fprintf fmt "@.-- %s --@." s.Self.sec_name;
+          Decode.pp_listing fmt s.Self.sec_data
+            ~base:(Int64.add exe.Self.base (Int64.of_int s.Self.sec_off))
+        end)
+      exe.Self.sections;
+    Format.pp_print_flush fmt ();
+    emit out (Buffer.contents buf)
+  in
+  let doc = "Disassemble a guest binary's executable sections." in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const action $ app_arg $ out_arg)
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let which =
+    let doc = "Experiments to run (fig2 fig6 fig7 fig8 fig9 fig10 table1 security)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXP" ~doc)
+  in
+  let action which =
+    let fmt = Format.std_formatter in
+    let all =
+      [
+        ("fig2", fun () -> ignore (Fig2.run fmt));
+        ("fig6", fun () -> ignore (Fig6.run fmt));
+        ("fig7", fun () -> ignore (Fig7.run fmt));
+        ("fig8", fun () -> ignore (Fig8.run fmt));
+        ("fig9", fun () -> ignore (Fig9.run fmt));
+        ("fig10", fun () -> ignore (Fig10.run fmt));
+        ("table1", fun () -> ignore (Table1.run fmt));
+        ("security", fun () -> ignore (Security.run fmt));
+      ]
+    in
+    let selected =
+      match which with
+      | [] -> all
+      | names -> List.filter (fun (n, _) -> List.mem n names) all
+    in
+    List.iter (fun (_, f) -> f ()) selected
+  in
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const action $ which)
+
+let () =
+  let doc = "dynamic and adaptive program customization (Middleware '23)" in
+  let info = Cmd.info "dynacut" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; trace_cmd; tracediff_cmd; cut_cmd; crit_cmd; disasm_cmd; report_cmd ]))

@@ -1,0 +1,1 @@
+examples/autopilot.ml: Abi Common Covgraph Drcov Dynacut Format List Machine Printf Proc Restore String Tracediff Workload

@@ -1,0 +1,1 @@
+examples/cve_mitigation.ml: Abi Common Dynacut Machine Printf Proc String Workload

@@ -1,0 +1,1 @@
+examples/cve_mitigation.mli:

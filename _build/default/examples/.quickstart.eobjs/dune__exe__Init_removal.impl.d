@@ -1,0 +1,1 @@
+examples/init_removal.ml: Common Drcov Dynacut Format List Option Printf Proc Spec String Workload

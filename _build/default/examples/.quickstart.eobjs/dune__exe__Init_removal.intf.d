@@ -1,0 +1,1 @@
+examples/init_removal.mli:

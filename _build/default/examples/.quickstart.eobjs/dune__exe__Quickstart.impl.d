@@ -1,0 +1,1 @@
+examples/quickstart.ml: Common Covgraph Dynacut Format List Printf Workload

@@ -1,0 +1,1 @@
+examples/verifier_validation.ml: Common Dynacut List Machine Printf Proc Tracediff Workload

@@ -1,0 +1,1 @@
+examples/webserver_customization.ml: Common Dynacut Format List Machine Printf Proc String Workload

@@ -1,0 +1,1 @@
+lib/apps/httplib.ml: Dsl

@@ -1,0 +1,1 @@
+lib/apps/ltpd.ml: Crt0 Dsl Httplib Int64 List Machine Vfs

@@ -1,0 +1,1 @@
+lib/apps/ngx.ml: Crt0 Dsl Httplib Int64 List Ltpd Machine Vfs

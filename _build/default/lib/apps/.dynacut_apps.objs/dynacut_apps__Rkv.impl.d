@@ -1,0 +1,1 @@
+lib/apps/rkv.ml: Crt0 Dsl Int64 List Machine Vfs

@@ -1,0 +1,1 @@
+lib/apps/spec.ml: Ast Crt0 Dsl List Machine Vfs

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Autophase Collector Drcov Lazy Libc List Ltpd Machine Net Ngx Printf Proc Rkv Self Spec String Vfs

@@ -1,0 +1,249 @@
+(** Host-side workload drivers: boot an application on a fresh machine,
+    watch its console for the ready banner (the paper's §3.1 "the end of
+    a program's initialization phase can be easily observed by reading
+    the printed log"), drive requests, and collect traces.
+
+    Everything here is deterministic: a fixed seed, a virtual clock, and
+    closed-loop clients. *)
+
+type app = {
+  a_name : string;  (** binary name in the machine fs *)
+  a_port : int option;  (** None for batch (SPEC-like) apps *)
+  a_banner : string;  (** init-done log line *)
+  a_install : Machine.t -> libc:Self.t -> unit;
+}
+
+let libc = lazy (Libc.build ())
+
+let ltpd =
+  {
+    a_name = "ltpd";
+    a_port = Some Ltpd.port;
+    a_banner = Ltpd.ready_banner;
+    a_install = (fun m ~libc -> Ltpd.install m ~libc);
+  }
+
+let ngx =
+  {
+    a_name = "ngx";
+    a_port = Some Ngx.port;
+    a_banner = Ngx.ready_banner;
+    a_install = (fun m ~libc -> Ngx.install m ~libc);
+  }
+
+let rkv =
+  {
+    a_name = "rkv";
+    a_port = Some Rkv.port;
+    a_banner = Rkv.ready_banner;
+    a_install = (fun m ~libc -> Rkv.install m ~libc);
+  }
+
+let spec_app (k : Spec.kernel) =
+  {
+    a_name = k.Spec.k_name;
+    a_port = None;
+    a_banner = Spec.init_done_banner k.Spec.k_name;
+    a_install = (fun m ~libc -> Spec.install m ~libc k);
+  }
+
+let spec_apps = List.map spec_app Spec.all
+
+(** The servers of the paper's §4 + the SPEC suite. *)
+let all_apps = [ ltpd; ngx; rkv ] @ spec_apps
+
+type ctx = {
+  app : app;
+  m : Machine.t;
+  pid : int;  (** root pid (the master for ngx) *)
+  col : Collector.t option;
+}
+
+exception Workload_error of string
+
+(** Console text of the whole process tree (workers inherit the root's
+    banner duties in some apps). *)
+let console (c : ctx) : string =
+  Machine.all_procs c.m
+  |> List.map (fun (p : Proc.t) -> Proc.peek_stdout p)
+  |> String.concat ""
+
+let banner_seen (c : ctx) =
+  let b = c.app.a_banner and s = console c in
+  let nb = String.length b and ns = String.length s in
+  let rec go i = i + nb <= ns && (String.sub s i nb = b || go (i + 1)) in
+  go 0
+
+(** Spawn [app] on a fresh machine. [traced] attaches the coverage
+    collector *before* the first instruction so initialization code is
+    covered. *)
+let spawn ?(seed = 42) ?(traced = false) (app : app) : ctx =
+  let m = Machine.create ~seed () in
+  let libc = Lazy.force libc in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  app.a_install m ~libc;
+  let p = Machine.spawn m ~exe_path:app.a_name () in
+  let col = if traced then Some (Collector.attach m ~pid:p.Proc.pid) else None in
+  { app; m; pid = p.Proc.pid; col }
+
+(** Run until the init banner appears (and, for servers, until the tree
+    quiesces into accept). *)
+let wait_ready ?(max_cycles = 30_000_000) (c : ctx) : unit =
+  match
+    Machine.run_until c.m ~max_cycles ~pred:(fun () -> banner_seen c)
+  with
+  | `Pred ->
+      (* let servers settle into their accept loop *)
+      if c.app.a_port <> None then ignore (Machine.run c.m ~max_cycles:200_000)
+  | `Idle | `Dead | `Budget ->
+      if not (banner_seen c) then
+        raise
+          (Workload_error
+             (Printf.sprintf "%s never printed its banner; console: %s" c.app.a_name
+                (console c)))
+
+(** One closed-loop request: connect, send, run until a reply arrives (or
+    the server dies), return the reply. *)
+let rpc ?(max_cycles = 5_000_000) (c : ctx) (text : string) : string =
+  let port =
+    match c.app.a_port with
+    | Some p -> p
+    | None -> raise (Workload_error (c.app.a_name ^ " is not a server"))
+  in
+  let conn = Net.connect c.m.Machine.net port in
+  Net.client_send conn text;
+  let dead () =
+    match Machine.proc c.m c.pid with
+    | Some p -> not (Proc.is_live p)
+    | None -> true
+  in
+  let (_ : _) =
+    Machine.run_until c.m ~max_cycles ~pred:(fun () ->
+        Net.client_pending conn > 0 || dead ())
+  in
+  Net.client_recv conn
+
+(** Run a batch app to completion; returns its exit state. *)
+let run_to_exit ?(max_cycles = 80_000_000) (c : ctx) : Proc.state =
+  let (_ : _) =
+    Machine.run_until c.m ~max_cycles ~pred:(fun () ->
+        match Machine.proc c.m c.pid with
+        | Some p -> not (Proc.is_live p)
+        | None -> true)
+  in
+  (Machine.proc_exn c.m c.pid).Proc.state
+
+let collector (c : ctx) =
+  match c.col with
+  | Some col -> col
+  | None -> raise (Workload_error "context was not spawned with ~traced:true")
+
+(* ---------- standard request mixes ---------- *)
+
+let http_get path = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path
+let http_head path = Printf.sprintf "HEAD %s HTTP/1.0\r\n\r\n" path
+let http_post path body = Printf.sprintf "POST %s HTTP/1.0\r\n\r\n%s" path body
+let http_put path body = Printf.sprintf "PUT %s HTTP/1.0\r\n\r\n%s" path body
+let http_delete path = Printf.sprintf "DELETE %s HTTP/1.0\r\n\r\n" path
+
+(** Wanted traffic for the web servers: read-only methods *plus* requests
+    that exercise the default error path, so the dispatcher chain and the
+    403 responder stay in the wanted coverage (§3.1 requires sample
+    inputs for every wanted behaviour). *)
+let web_wanted =
+  [
+    http_get "/index.html";
+    http_get "/about.txt";
+    http_get "/style.css";
+    http_get "/missing.html";
+    http_head "/index.html";
+    http_post "/form" "a=1&b=2";
+    "OPTIONS / HTTP/1.0\r\n\r\n";
+    "PROPFIND / HTTP/1.0\r\n\r\n";
+    "BREW /pot HTTP/1.0\r\n\r\n" (* unknown method: error path *);
+  ]
+
+(** Undesired traffic: the WebDAV write methods (the paper disables PUT
+    and DELETE in Nginx and Lighttpd, §4.1). *)
+let web_undesired =
+  [
+    http_put "/upload.txt" "hello upload";
+    http_get "/upload.txt";
+    (* reads of *other* resources while an upload exists: covers the
+       scan-past-occupied-slot path that a PUT-then-GET workload would
+       otherwise leave untraced (the §3.2.3 over-elimination pitfall) *)
+    http_get "/index.html";
+    http_head "/about.txt";
+    http_delete "/upload.txt";
+    http_delete "/upload.txt" (* delete of an already-deleted resource *);
+  ]
+
+(** Wanted traffic for rkv: the read-mostly command set plus an unknown
+    command for the error path. *)
+let kv_wanted =
+  [
+    "PING\n";
+    "GET greeting\n";
+    "GET missing\n";
+    "EXISTS color\n";
+    "INCR counter\n";
+    "APPEND color ish\n";
+    "ECHO hi\n";
+    "KEYS\n";
+    "INFO\n";
+    "DEL color\n";
+    "BOGUS x\n" (* unknown command: error path *);
+  ]
+
+(** Undesired traffic for the Figure 8 experiment: the SET command. *)
+let kv_undesired = [ "SET newkey newval\n"; "GET newkey\n"; "SET newkey other\n" ]
+
+(** Undesired traffic for Table 1: the vulnerable commands, driven with
+    benign arguments during profiling. *)
+let kv_vulnerable =
+  [
+    "SETRANGE greeting 2 xy\n";
+    "STRALGO abc abd\n";
+    "CONFIG SET small\n";
+    "CONFIG GET x\n";
+  ]
+
+(** Trace one boot + request mix; returns (init log, serving log) using
+    the nudge protocol when [nudge_at_ready], else a single merged log. *)
+let trace_requests ?(seed = 42) ~(app : app) ~(requests : string list)
+    ~(nudge_at_ready : bool) () : Drcov.log option * Drcov.log =
+  let c = spawn ~seed ~traced:true app in
+  wait_ready c;
+  let init_log = if nudge_at_ready then Some (Collector.nudge (collector c)) else None in
+  List.iter (fun r -> ignore (rpc c r)) requests;
+  (* keep profiling for a while after the request mix: periodic code (the
+     ngx master's wakeup loop) must land in the serving coverage, or the
+     init-diff would misclassify it — the "may also execute later"
+     pitfall the paper discusses in §3.1 *)
+  ignore (Machine.run c.m ~max_cycles:5_000_000);
+  (init_log, Collector.detach (collector c))
+
+(** Trace a SPEC kernel: nudge at the init banner, then run to exit. *)
+let trace_spec ?(seed = 42) (k : Spec.kernel) : Drcov.log * Drcov.log =
+  let c = spawn ~seed ~traced:true (spec_app k) in
+  wait_ready c;
+  let init_log = Collector.nudge (collector c) in
+  let (_ : Proc.state) = run_to_exit c in
+  (init_log, Collector.detach (collector c))
+
+(** Fully automatic phase profiling (paper §5, implemented in
+    {!Autophase}): no operator watches the console — the init nudge
+    fires on the server's first [accept] syscall. *)
+let trace_requests_auto ?(seed = 42) ~(app : app) ~(requests : string list) () :
+    Drcov.log * Drcov.log =
+  let c = spawn ~seed ~traced:true app in
+  let auto =
+    Autophase.arm c.m (collector c) ~trigger:Autophase.On_accept
+  in
+  wait_ready c;
+  List.iter (fun r -> ignore (rpc c r)) requests;
+  ignore (Machine.run c.m ~max_cycles:5_000_000);
+  Autophase.disarm auto;
+  match Autophase.init_log auto with
+  | Some init -> (init, Collector.detach (collector c))
+  | None -> raise (Workload_error "autophase never fired")

@@ -1,0 +1,1 @@
+lib/baselines/chisel.ml: Bytes Cfg Covgraph Hashtbl List Razor Self Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/razor.ml: Bytes Cfg Covgraph Hashtbl List Option Self

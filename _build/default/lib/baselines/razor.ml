@@ -1,0 +1,101 @@
+(** RAZOR-like static binary debloater (Qian et al., USENIX Security '19;
+    the paper's primary comparison point in Figure 10).
+
+    RAZOR keeps the basic blocks observed in training traces and then
+    applies control-flow heuristics (its "zCode" levels) to keep *related*
+    code that the traces missed — direct successors, fall-throughs, and
+    error paths — trading debloating rate for robustness. Everything else
+    is rewritten to trap instructions, once, for the whole lifetime of
+    the binary: this is the static, time-insensitive cut DynaCut's
+    timeline beats in Figure 10.
+
+    Our implementation operates on SELF executables using the static CFG
+    ({!Cfg}): [debloat] returns a new binary whose removed blocks are
+    filled with [int3]. *)
+
+type stats = {
+  s_total : int;  (** static blocks in the binary *)
+  s_kept : int;
+  s_removed : int;
+}
+
+let percent_removed s =
+  100. *. float_of_int s.s_removed /. float_of_int (max 1 s.s_total)
+
+(** Heuristic expansion level, like RAZOR's zL0..zL3. Level 0 keeps only
+    traced blocks; each level adds one ring of static CFG successors. *)
+type level = L0 | L1 | L2 | L3
+
+let level_rings = function L0 -> 0 | L1 -> 1 | L2 -> 2 | L3 -> 3
+
+(** Compute the kept set of static block offsets. *)
+let kept_blocks ~(cfg : Cfg.t) ~(coverage : Covgraph.t) ~(module_ : string)
+    ~(level : level) : (int, unit) Hashtbl.t =
+  let kept = Hashtbl.create 512 in
+  (* seed: every static block whose start was traced *)
+  List.iter
+    (fun (b : Cfg.block) ->
+      if Covgraph.mem_off coverage ~module_ ~off:b.Cfg.bb_off then
+        Hashtbl.replace kept b.Cfg.bb_off ())
+    (Cfg.real_blocks cfg);
+  (* successor map from the static CFG (branch targets + fallthroughs) *)
+  let succs = Hashtbl.create 512 in
+  List.iter
+    (fun (from_insn, target) ->
+      match Cfg.block_containing cfg from_insn with
+      | Some b ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt succs b.Cfg.bb_off) in
+          Hashtbl.replace succs b.Cfg.bb_off (target :: cur)
+      | None -> ())
+    cfg.Cfg.cfg_edges;
+  (* rings of expansion *)
+  for _ = 1 to level_rings level do
+    let frontier = Hashtbl.fold (fun off () acc -> off :: acc) kept [] in
+    List.iter
+      (fun off ->
+        List.iter
+          (fun tgt ->
+            match Cfg.block_containing cfg tgt with
+            | Some b -> Hashtbl.replace kept b.Cfg.bb_off ()
+            | None -> ())
+          (Option.value ~default:[] (Hashtbl.find_opt succs off)))
+      frontier
+  done;
+  kept
+
+(** Produce the statically debloated binary: blocks outside the kept set
+    are filled with trap bytes. *)
+let debloat ?(level = L1) (exe : Self.t) ~(coverage : Covgraph.t) : Self.t * stats
+    =
+  let cfg = Cfg.of_self exe in
+  let kept = kept_blocks ~cfg ~coverage ~module_:exe.Self.name ~level in
+  let total = List.length (Cfg.real_blocks cfg) in
+  let removed = ref 0 in
+  let sections =
+    List.map
+      (fun (sec : Self.section) ->
+        if not sec.Self.sec_prot.Self.p_x then sec
+        else begin
+          let data = Bytes.copy sec.Self.sec_data in
+          List.iter
+            (fun (b : Cfg.block) ->
+              let in_sec =
+                b.Cfg.bb_off >= sec.Self.sec_off
+                && b.Cfg.bb_off < sec.Self.sec_off + Bytes.length data
+              in
+              if in_sec && b.Cfg.bb_size > 0 && not (Hashtbl.mem kept b.Cfg.bb_off)
+              then begin
+                Bytes.fill data (b.Cfg.bb_off - sec.Self.sec_off) b.Cfg.bb_size '\xCC';
+                incr removed
+              end)
+            (Cfg.real_blocks cfg);
+          { sec with Self.sec_data = data }
+        end)
+      exe.Self.sections
+  in
+  ( { exe with Self.sections },
+    { s_total = total; s_kept = total - !removed; s_removed = !removed } )
+
+(** Live-block count of the debloated binary — the flat line of
+    Figure 10. *)
+let live_blocks (s : stats) = s.s_kept

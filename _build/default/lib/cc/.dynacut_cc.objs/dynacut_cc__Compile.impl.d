@@ -1,0 +1,1 @@
+lib/cc/compile.ml: Asm Ast Hashtbl Insn List Printf Reg

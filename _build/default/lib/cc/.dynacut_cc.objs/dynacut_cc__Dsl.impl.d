@@ -1,0 +1,1 @@
+lib/cc/dsl.ml: Ast Int64

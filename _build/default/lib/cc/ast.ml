@@ -1,0 +1,79 @@
+(** MiniC — the small imperative language the guest applications are
+    written in.
+
+    MiniC exists because the paper's workloads (Nginx, Lighttpd, Redis,
+    SPEC INT) are real compiled programs whose *binary structure* matters
+    to DynaCut: request dispatchers must compile to compare-and-branch
+    chains inside one function, features must occupy distinct basic
+    blocks, initialization must be ordinary code, and libc calls must go
+    through PLT stubs. Compiling MiniC through {!Compile} yields exactly
+    that structure. *)
+
+type width = W8 | W64
+
+type unop =
+  | Neg
+  | Lognot  (** C's [!]: 1 if zero, else 0 *)
+  | Bitnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Ult
+  | Ugt
+  | Eq
+  | Ne
+  | Land  (** short-circuit && *)
+  | Lor  (** short-circuit || *)
+
+type expr =
+  | Int of int64
+  | Str of string  (** address of a NUL-terminated literal in .rodata *)
+  | Var of string  (** local, parameter, or 64-bit global *)
+  | Addr of string  (** address of a global symbol *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Callp of expr * expr list  (** indirect call through a function pointer *)
+  | Deref of width * expr  (** load through a pointer *)
+
+type stmt =
+  | Decl of string * expr  (** introduce a local with an initial value *)
+  | Assign of string * expr
+  | Store of width * expr * expr  (** [Store (w, addr, value)] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+      (** cases do NOT fall through; compiles to the cmp/branch dispatcher
+          pattern DynaCut's feature blocking relies on (§3.1) *)
+  | Return of expr
+  | Expr of expr
+  | Break
+  | Continue
+  | Label of string
+      (** named point inside the function, exported as a symbol — used to
+          mark default error paths for DynaCut's redirect policy (§3.2.2) *)
+
+type func = { fname : string; params : string list; body : stmt list }
+
+type ginit =
+  | Zeroed of int  (** size in bytes (goes to .bss-like zeroed .data) *)
+  | Qwords of int64 list
+  | Gbytes of string
+  | Gaddrs of string list  (** table of symbol addresses (function tables) *)
+
+type global = { gname : string; ginit : ginit }
+
+type comp_unit = { cu_name : string; funcs : func list; globals : global list }

@@ -1,0 +1,61 @@
+(** Thin combinator layer over the MiniC AST — the guest applications in
+    {!Dynacut_apps} are written against this. Operators are suffixed with
+    [:] to avoid shadowing OCaml's arithmetic. *)
+
+open Ast
+
+let i n = Int (Int64.of_int n)
+let i64 n = Int n
+let v n = Var n
+let s lit = Str lit
+let addr n = Addr n
+let call f args = Call (f, args)
+let callp fp args = Callp (fp, args)
+let load64 a = Deref (W64, a)
+let load8 a = Deref (W8, a)
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Mod, a, b)
+let ( &: ) a b = Binop (Band, a, b)
+let ( |: ) a b = Binop (Bor, a, b)
+let ( ^: ) a b = Binop (Bxor, a, b)
+let ( <<: ) a b = Binop (Shl, a, b)
+let ( >>: ) a b = Binop (Shr, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( &&: ) a b = Binop (Land, a, b)
+let ( ||: ) a b = Binop (Lor, a, b)
+let not_ a = Unop (Lognot, a)
+let neg a = Unop (Neg, a)
+
+let decl n e = Decl (n, e)
+let set n e = Assign (n, e)
+let store64 a value = Store (W64, a, value)
+let store8 a value = Store (W8, a, value)
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ c b = While (c, b)
+let forever b = While (Int 1L, b)
+let switch e cases ~default = Switch (e, cases, default)
+let ret e = Return e
+let ret0 = Return (Int 0L)
+let expr e = Expr e
+let do_ f args = Expr (Call (f, args))
+let break_ = Break
+let continue_ = Continue
+let label n = Label n
+
+let func fname params body = { fname; params; body }
+let global_zero gname n = { gname; ginit = Zeroed n }
+let global_q gname ws = { gname; ginit = Qwords ws }
+let global_bytes gname sdata = { gname; ginit = Gbytes sdata }
+let global_addrs gname syms = { gname; ginit = Gaddrs syms }
+
+let unit_ cu_name ?(globals = []) funcs = { cu_name; funcs; globals }

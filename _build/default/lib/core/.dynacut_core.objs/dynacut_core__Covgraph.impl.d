@@ -1,0 +1,1 @@
+lib/core/covgraph.ml: Cfg Drcov Filename Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/covgraph.mli: Cfg Drcov Format

@@ -1,0 +1,1 @@
+lib/core/dynacut.ml: Abi Bytes Char Checkpoint Covgraph Format Funcbounds Handler Images Inject Int64 List Machine Option Printf Proc Restore Rewriter Self Stats Vfs

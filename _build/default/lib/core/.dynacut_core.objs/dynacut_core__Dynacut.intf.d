@@ -1,0 +1,1 @@
+lib/core/dynacut.mli: Covgraph Format Machine Rewriter Self

@@ -1,0 +1,1 @@
+lib/core/funcbounds.ml: Array Bytes Char List Self

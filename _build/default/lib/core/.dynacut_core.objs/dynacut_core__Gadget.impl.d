@@ -1,0 +1,1 @@
+lib/core/gadget.ml: Bytes Decode Format Images Insn List Self

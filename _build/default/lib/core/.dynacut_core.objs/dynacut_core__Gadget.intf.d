@@ -1,0 +1,1 @@
+lib/core/gadget.mli: Format Images

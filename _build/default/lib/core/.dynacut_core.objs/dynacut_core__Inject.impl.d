@@ -1,0 +1,1 @@
+lib/core/inject.ml: Buffer Bytes Handler Images Int64 List Loader Mem Printf Proc Self

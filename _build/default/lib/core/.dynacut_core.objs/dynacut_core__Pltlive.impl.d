@@ -1,0 +1,1 @@
+lib/core/pltlive.ml: Covgraph Format Link List Self

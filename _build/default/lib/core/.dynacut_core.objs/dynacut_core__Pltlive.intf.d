@@ -1,0 +1,1 @@
+lib/core/pltlive.mli: Covgraph Format Self

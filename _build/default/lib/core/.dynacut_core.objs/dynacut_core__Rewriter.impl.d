@@ -1,0 +1,1 @@
+lib/core/rewriter.ml: Buffer Bytes Covgraph Hashtbl Images Int64 List Option Printf String

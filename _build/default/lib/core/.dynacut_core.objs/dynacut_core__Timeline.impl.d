@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Format List

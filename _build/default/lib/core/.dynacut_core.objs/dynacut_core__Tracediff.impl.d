@@ -1,0 +1,1 @@
+lib/core/tracediff.ml: Cfg Covgraph Drcov Format List

@@ -1,0 +1,1 @@
+lib/core/tracediff.mli: Cfg Covgraph Drcov Format

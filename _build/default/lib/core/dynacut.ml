@@ -1,0 +1,356 @@
+(** The DynaCut orchestrator: freeze → checkpoint → rewrite → restore,
+    with a per-stage timing breakdown matching Figure 6's legend
+    (checkpoint / disable code w/ int3 / insert sighandler / restore).
+
+    A {!session} wraps one target process tree. [cut] disables a block
+    list under a policy; [reenable] restores a previous cut's journal.
+    All edits go through the static images in the machine's tmpfs — the
+    live process is only ever frozen, reaped, and re-created, never
+    patched in place (§3.2.1). *)
+
+type policy = {
+  method_ : [ `First_byte | `Wipe | `Unmap_pages ];
+  on_trap :
+    [ `Kill  (** no handler: default SIGTRAP action terminates (like RAZOR) *)
+    | `Terminate  (** handler calls exit(13) *)
+    | `Redirect of string
+      (** handler redirects saved rip to this (exported) symbol — the
+          application's default error path, e.g. the 403 responder *)
+    | `Verify  (** handler restores the original byte and logs (§3.2.3) *)
+    ];
+}
+
+let block_features = { method_ = `First_byte; on_trap = `Kill }
+
+type timings = {
+  t_checkpoint : float;
+  t_disable : float;
+  t_handler : float;
+  t_restore : float;
+}
+
+let total_time t = t.t_checkpoint +. t.t_disable +. t.t_handler +. t.t_restore
+
+let pp_timings fmt t =
+  Format.fprintf fmt
+    "checkpoint %.4fs + disable %.4fs + sighandler %.4fs + restore %.4fs = %.4fs"
+    t.t_checkpoint t.t_disable t.t_handler t.t_restore (total_time t)
+
+type session = {
+  machine : Machine.t;
+  root_pid : int;
+  handler_lib : Self.t;
+  tmpfs : string;  (** tmpfs directory for the images (§3.3) *)
+  mutable lib_bases : (int * int64) list;  (** pid -> injected handler base *)
+  mutable cut_count : int;
+  mutable table_mode : int64;  (** current handler mode for the whole table *)
+  mutable table : (int * (int64 * int64) list) list;
+      (** pid -> accumulated (trap addr, payload) entries across stacked
+          cuts; re-enables remove their entries instead of clearing *)
+}
+
+exception Dynacut_error of string
+
+let create (machine : Machine.t) ~(root_pid : int) : session =
+  (* the handler library is built against the libc the target linked *)
+  let libc =
+    match Vfs.find_self machine.Machine.fs "libc.so" with
+    | Some l -> l
+    | None -> raise (Dynacut_error "libc.so not present in target filesystem")
+  in
+  {
+    machine;
+    root_pid;
+    handler_lib = Handler.build ~libc ();
+    tmpfs = Printf.sprintf "/tmpfs/dynacut-%d" root_pid;
+    lib_bases = [];
+    cut_count = 0;
+    table_mode = Handler.mode_terminate;
+    table = [];
+  }
+
+let tree_pids (s : session) : int list =
+  let rec descendants pid =
+    let kids =
+      List.filter
+        (fun (q : Proc.t) -> q.Proc.parent = pid && Proc.is_live q)
+        (Machine.all_procs s.machine)
+    in
+    pid :: List.concat_map (fun (q : Proc.t) -> descendants q.Proc.pid) kids
+  in
+  descendants s.root_pid
+
+let image_path s pid = Printf.sprintf "%s/dump-%d.img" s.tmpfs pid
+
+let load_image s pid : Images.t =
+  match Vfs.find s.machine.Machine.fs (image_path s pid) with
+  | Some blob -> Images.decode blob
+  | None -> raise (Dynacut_error (Printf.sprintf "no image for pid %d" pid))
+
+let store_image s (img : Images.t) : unit =
+  Vfs.add s.machine.Machine.fs (image_path s img.Images.core.Images.c_pid)
+    (Images.encode img)
+
+(* stage 1: freeze the tree and checkpoint every process into tmpfs *)
+let stage_checkpoint s pids =
+  List.iter (fun pid -> Machine.freeze s.machine ~pid) pids;
+  List.iter
+    (fun pid ->
+      let img = Checkpoint.dump s.machine ~pid ~mode:Checkpoint.Dynacut () in
+      store_image s img)
+    pids
+
+(* stage 2: apply the block-disabling edits; returns journals *)
+let stage_disable s pids ~(blocks : Covgraph.block list) ~method_ :
+    Rewriter.journal list =
+  List.map
+    (fun pid ->
+      let img = load_image s pid in
+      let patches, img =
+        match method_ with
+        | `First_byte -> (Rewriter.disable_first_byte img blocks, img)
+        | `Wipe -> (Rewriter.wipe_blocks img blocks, img)
+        | `Unmap_pages ->
+            (* unmap whole pages; partially-covered pages are wiped *)
+            let unmaps, img = Rewriter.unmap_block_pages img blocks in
+            let still_mapped =
+              List.filter
+                (fun b ->
+                  match Images.find_vma img (Rewriter.block_vaddr img b) with
+                  | Some _ -> true
+                  | None -> false)
+                blocks
+            in
+            (unmaps @ Rewriter.wipe_blocks img still_mapped, img)
+      in
+      store_image s img;
+      { Rewriter.j_pid = pid; j_patches = patches })
+    pids
+
+(* stage 3: inject (or re-use) the handler library, write the policy
+   table, register the SIGTRAP sigaction *)
+let stage_handler s pids ~(blocks : Covgraph.block list) ~on_trap
+    ~(journals : Rewriter.journal list) =
+  match on_trap with
+  | `Kill -> ()
+  | (`Terminate | `Redirect _ | `Verify) as trap ->
+      let libc =
+        match Vfs.find_self s.machine.Machine.fs "libc.so" with
+        | Some l -> l
+        | None -> raise (Dynacut_error "libc.so vanished")
+      in
+      List.iter
+        (fun pid ->
+          let img = load_image s pid in
+          let libc_base =
+            match Rewriter.module_base img "libc.so" with
+            | Some b -> b
+            | None -> raise (Dynacut_error "target does not map libc.so")
+          in
+          let img, base =
+            match Rewriter.module_base img s.handler_lib.Self.name with
+            | Some base -> (img, base) (* already injected by an earlier cut *)
+            | None ->
+                let img, base =
+                  Inject.inject img ~lib:s.handler_lib ~deps:[ (libc, libc_base) ] ()
+                in
+                s.lib_bases <- (pid, base) :: List.remove_assoc pid s.lib_bases;
+                (img, base)
+          in
+          let journal =
+            List.find (fun (j : Rewriter.journal) -> j.Rewriter.j_pid = pid) journals
+          in
+          let exe =
+            match Vfs.find_self s.machine.Machine.fs img.Images.core.Images.c_exe with
+            | Some e -> e
+            | None -> raise (Dynacut_error "target executable not in filesystem")
+          in
+          let mode, new_entries =
+            match trap with
+            | `Terminate -> (Handler.mode_terminate, [])
+            | `Redirect sym ->
+                let target =
+                  match Self.find_symbol exe sym with
+                  | Some sm -> (
+                      match Rewriter.module_base img exe.Self.name with
+                      | Some mb -> Int64.add mb (Int64.of_int sm.Self.sym_off)
+                      | None -> raise (Dynacut_error "exe module not mapped"))
+                  | None ->
+                      raise
+                        (Dynacut_error
+                           (Printf.sprintf "redirect target %s not found in %s" sym
+                              exe.Self.name))
+                in
+                ( Handler.mode_redirect,
+                  List.map (fun b -> (Rewriter.block_vaddr img b, target)) blocks )
+            | `Verify ->
+                ( Handler.mode_verify,
+                  List.filter_map
+                    (function
+                      | Rewriter.Bytes_patch { p_vaddr; p_orig } when Bytes.length p_orig = 1
+                        ->
+                          Some (p_vaddr, Int64.of_int (Char.code (Bytes.get p_orig 0)))
+                      | _ -> None)
+                    journal.Rewriter.j_patches )
+          in
+          (* stacked cuts accumulate entries; the mode is table-global, so
+             redirect and verify payloads must not be mixed *)
+          let prev = Option.value ~default:[] (List.assoc_opt pid s.table) in
+          if prev <> [] && mode <> s.table_mode then
+            raise
+              (Dynacut_error
+                 "cannot stack cuts with different trap modes (redirect vs                   verify); re-enable the earlier cut first");
+          let merged =
+            List.fold_left
+              (fun acc (addr, payload) -> (addr, payload) :: List.remove_assoc addr acc)
+              prev new_entries
+          in
+          s.table <- (pid, merged) :: List.remove_assoc pid s.table;
+          s.table_mode <- mode;
+          Inject.write_policy img ~lib:s.handler_lib ~base ~mode ~entries:merged;
+          let img =
+            Rewriter.set_sigaction img ~signum:Abi.sigtrap
+              ~handler:(Inject.lib_sym s.handler_lib ~base Handler.sym_handler)
+              ~restorer:(Inject.lib_sym s.handler_lib ~base Handler.sym_restorer)
+          in
+          store_image s img)
+        pids
+
+(* stage 4: replace the live processes with the rewritten images *)
+let stage_restore s pids =
+  List.iter
+    (fun pid ->
+      Machine.reap s.machine ~pid;
+      let p = Restore.restore s.machine (load_image s pid) in
+      p.Proc.frozen <- false)
+    pids
+
+(** Under the redirect policy, the saved instruction pointer is rewritten
+    by a constant target, so the trap site and the error path must share
+    a stack frame: "we require that the entries of the default error
+    handler and unwanted code features reside within the same function"
+    (§3.2.2). Keep only the feature blocks inside the redirect target's
+    function — the dispatcher edges. Blocking those entry blocks is
+    sufficient to disable the feature; deeper feature code stays mapped
+    (use [`Wipe] + [`Kill] when that residue matters). *)
+let redirect_filter (s : session) ~(sym : string) (blocks : Covgraph.block list) :
+    Covgraph.block list =
+  let root = Machine.proc_exn s.machine s.root_pid in
+  match Vfs.find_self s.machine.Machine.fs root.Proc.exe_path with
+  | None -> blocks
+  | Some exe -> (
+      match Self.find_symbol exe sym with
+      | None -> blocks (* resolution fails loudly later, in stage_handler *)
+      | Some target ->
+          let bounds = Funcbounds.of_self exe in
+          List.filter
+            (fun (b : Covgraph.block) ->
+              b.Covgraph.b_module = exe.Self.name
+              && Funcbounds.same_function bounds b.Covgraph.b_off target.Self.sym_off)
+            blocks)
+
+(** Disable [blocks] in the target tree under [policy]. Returns per-pid
+    journals (for {!reenable}) and the stage timing breakdown. *)
+let cut (s : session) ~(blocks : Covgraph.block list) ~(policy : policy) :
+    Rewriter.journal list * timings =
+  s.cut_count <- s.cut_count + 1;
+  let blocks =
+    match policy.on_trap with
+    | `Redirect sym -> redirect_filter s ~sym blocks
+    | `Kill | `Terminate | `Verify -> blocks
+  in
+  let pids = tree_pids s in
+  let (), t_checkpoint = Stats.time_it (fun () -> stage_checkpoint s pids) in
+  let journals, t_disable =
+    Stats.time_it (fun () -> stage_disable s pids ~blocks ~method_:policy.method_)
+  in
+  let (), t_handler =
+    Stats.time_it (fun () ->
+        stage_handler s pids ~blocks ~on_trap:policy.on_trap ~journals)
+  in
+  let (), t_restore = Stats.time_it (fun () -> stage_restore s pids) in
+  (journals, { t_checkpoint; t_disable; t_handler; t_restore })
+
+(** Restore previously disabled features from their journals: replace the
+    [int3] bytes with the original instruction bytes and remap any
+    unmapped pages (§3.2.2's bidirectional transformation). *)
+let reenable (s : session) (journals : Rewriter.journal list) : timings =
+  let pids = tree_pids s in
+  let (), t_checkpoint = Stats.time_it (fun () -> stage_checkpoint s pids) in
+  let (), t_disable =
+    Stats.time_it (fun () ->
+        List.iter
+          (fun (j : Rewriter.journal) ->
+            match List.find_opt (fun pid -> pid = j.Rewriter.j_pid) pids with
+            | None -> ()
+            | Some pid ->
+                let img = load_image s pid in
+                Rewriter.restore_bytes img j.Rewriter.j_patches;
+                let img = Rewriter.remap img j.Rewriter.j_patches in
+                (* drop only this journal's entries from the policy table;
+                   entries from other (still active) cuts remain *)
+                let restored_addrs =
+                  List.filter_map
+                    (function
+                      | Rewriter.Bytes_patch { p_vaddr; _ } -> Some p_vaddr
+                      | Rewriter.Unmap_patch _ -> None)
+                    j.Rewriter.j_patches
+                in
+                let remaining =
+                  List.filter
+                    (fun (addr, _) -> not (List.mem addr restored_addrs))
+                    (Option.value ~default:[] (List.assoc_opt pid s.table))
+                in
+                s.table <- (pid, remaining) :: List.remove_assoc pid s.table;
+                (match
+                   ( List.assoc_opt pid s.lib_bases,
+                     Rewriter.module_base img s.handler_lib.Self.name )
+                 with
+                | Some base, Some _ ->
+                    let mode =
+                      if remaining = [] then Handler.mode_terminate else s.table_mode
+                    in
+                    Inject.write_policy img ~lib:s.handler_lib ~base ~mode
+                      ~entries:remaining
+                | _ -> ());
+                store_image s img)
+          journals)
+  in
+  let (), t_restore = Stats.time_it (fun () -> stage_restore s pids) in
+  { t_checkpoint; t_disable; t_handler = 0.; t_restore }
+
+(** Install a seccomp-style syscall denylist across the tree via image
+    rewriting (paper §5): after initialization a server no longer needs
+    fork/open/socket-style syscalls, and filtering them out closes the
+    kernel attack surface the way Ghavamnia et al. do — but switchable at
+    run time, because it is just another image edit. [denied = None]
+    clears the filter. *)
+let apply_seccomp (s : session) ~(denied : int list option) : timings =
+  let pids = tree_pids s in
+  let (), t_checkpoint = Stats.time_it (fun () -> stage_checkpoint s pids) in
+  let (), t_disable =
+    Stats.time_it (fun () ->
+        List.iter
+          (fun pid ->
+            let img = load_image s pid in
+            store_image s (Rewriter.set_seccomp img ~denied))
+          pids)
+  in
+  let (), t_restore = Stats.time_it (fun () -> stage_restore s pids) in
+  { t_checkpoint; t_disable; t_handler = 0.; t_restore }
+
+(** Read the verifier's false-positive log from the live process
+    (§3.2.3): addresses whose blocking was reverted at run time. *)
+let verifier_log (s : session) ~(pid : int) : int64 list =
+  match (Machine.proc s.machine pid, List.assoc_opt pid s.lib_bases) with
+  | Some p, Some base ->
+      let _, log = Inject.read_handler_state p ~lib:s.handler_lib ~base in
+      log
+  | _ -> []
+
+let handler_hits (s : session) ~(pid : int) : int64 =
+  match (Machine.proc s.machine pid, List.assoc_opt pid s.lib_bases) with
+  | Some p, Some base ->
+      let hits, _ = Inject.read_handler_state p ~lib:s.handler_lib ~base in
+      hits
+  | _ -> 0L

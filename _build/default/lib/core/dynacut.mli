@@ -1,0 +1,95 @@
+(** The DynaCut orchestrator: freeze → checkpoint → rewrite → restore,
+    with Figure 6's stage-timing breakdown.
+
+    Typical use:
+    {[
+      let session = Dynacut.create machine ~root_pid in
+      let journals, t =
+        Dynacut.cut session ~blocks
+          ~policy:{ method_ = `First_byte; on_trap = `Redirect "err_403" }
+      in
+      (* ... the feature now answers through the app's error path ... *)
+      let _t = Dynacut.reenable session journals in
+    ]} *)
+
+type policy = {
+  method_ : [ `First_byte  (** int3 in each block's first byte *)
+            | `Wipe  (** int3 over every byte (anti-ROP) *)
+            | `Unmap_pages  (** drop fully-covered pages; wipe the rest *) ];
+  on_trap :
+    [ `Kill  (** no handler: default SIGTRAP action terminates *)
+    | `Terminate  (** injected handler calls exit(13) *)
+    | `Redirect of string
+      (** handler rewrites the saved rip to this exported symbol — the
+          application's default error path (§3.2.2, Figure 5). Only
+          blocks in the target's own function are patched (the paper's
+          same-function requirement); blocking those dispatcher-edge
+          blocks disables the feature. *)
+    | `Verify
+      (** over-elimination check (§3.2.3): the handler restores the
+          original byte, logs the address, and retries *) ];
+}
+
+val block_features : policy
+(** [{ method_ = `First_byte; on_trap = `Kill }] — the default of most
+    static debloaters. *)
+
+type timings = {
+  t_checkpoint : float;
+  t_disable : float;
+  t_handler : float;
+  t_restore : float;
+}
+
+val total_time : timings -> float
+val pp_timings : Format.formatter -> timings -> unit
+
+type session = {
+  machine : Machine.t;
+  root_pid : int;
+  handler_lib : Self.t;  (** the injectable SIGTRAP handler (§3.3) *)
+  tmpfs : string;  (** image directory in the machine fs *)
+  mutable lib_bases : (int * int64) list;
+  mutable cut_count : int;
+  mutable table_mode : int64;
+  mutable table : (int * (int64 * int64) list) list;
+      (** accumulated policy entries per pid: stacked cuts merge, partial
+          re-enables remove only their own entries *)
+}
+
+exception Dynacut_error of string
+
+val create : Machine.t -> root_pid:int -> session
+(** Build a session for the process tree rooted at [root_pid]; the
+    handler library is linked against the target's libc. *)
+
+val tree_pids : session -> int list
+(** The root and its live descendants (multi-process support, §3.2.1). *)
+
+val redirect_filter :
+  session -> sym:string -> Covgraph.block list -> Covgraph.block list
+(** The same-function restriction applied by [cut] under [`Redirect]. *)
+
+val cut :
+  session ->
+  blocks:Covgraph.block list ->
+  policy:policy ->
+  Rewriter.journal list * timings
+(** Disable [blocks] across the tree: freeze, checkpoint to tmpfs,
+    rewrite the images, inject/update the handler, restore. The live
+    processes keep their pids, memory and TCP connections. *)
+
+val reenable : session -> Rewriter.journal list -> timings
+(** Restore a previous cut: original bytes back, pages remapped, policy
+    table emptied. *)
+
+val apply_seccomp : session -> denied:int list option -> timings
+(** Install ([Some denylist]) or clear ([None]) a syscall filter across
+    the tree by image rewriting — §5's dynamic seccomp. *)
+
+val verifier_log : session -> pid:int -> int64 list
+(** Addresses the [`Verify] handler restored at run time — the
+    false-positive report of §3.2.3. *)
+
+val handler_hits : session -> pid:int -> int64
+(** Number of SIGTRAP deliveries the injected handler served. *)

@@ -1,0 +1,46 @@
+(** Live-basic-block accounting over execution phases (paper Figure 10).
+
+    "Live" means reachable by an attacker: a block counts as live while
+    it is mapped, executable, and not disabled. DynaCut's number changes
+    at every phase transition; static debloaters (RAZOR, Chisel) are
+    horizontal lines because their one-time cut holds for the whole
+    lifetime. All percentages are normalized against the vanilla
+    binary's total static block count (recovered by {!Cfg}, our Angr
+    stand-in). *)
+
+type phase = {
+  ph_label : string;
+  ph_time : float;  (** x position, arbitrary units (paper uses seconds) *)
+  ph_live : int;  (** live blocks during this phase *)
+}
+
+type track = { tr_name : string; tr_total : int; tr_phases : phase list }
+
+let percent track ph = 100. *. float_of_int ph.ph_live /. float_of_int track.tr_total
+
+(** Build a DynaCut track from a sequence of (label, time, disabled-block
+    count) checkpoints against a [total] static block count and a
+    [mapped] count of blocks present in memory at each point. *)
+let make ~name ~total phases = { tr_name = name; tr_total = total; tr_phases = phases }
+
+(** A static debloater's flat track: [kept] blocks forever. *)
+let flat ~name ~total ~kept ~times =
+  {
+    tr_name = name;
+    tr_total = total;
+    tr_phases = List.map (fun t -> { ph_label = ""; ph_time = t; ph_live = kept }) times;
+  }
+
+let max_live_percent track =
+  List.fold_left (fun acc ph -> max acc (percent track ph)) 0. track.tr_phases
+
+let pp fmt (tracks : track list) =
+  List.iter
+    (fun tr ->
+      Format.fprintf fmt "%s (total %d):@." tr.tr_name tr.tr_total;
+      List.iter
+        (fun ph ->
+          Format.fprintf fmt "  t=%5.1f  live=%6d  (%5.1f%%)  %s@." ph.ph_time ph.ph_live
+            (percent tr ph) ph.ph_label)
+        tr.tr_phases)
+    tracks

@@ -1,0 +1,63 @@
+(** tracediff — undesired code block identification (paper §3.1,
+    Figure 4: "our tracediff.py tool automatically calculates undesired
+    basic blocks using different execution traces").
+
+    Two analyses:
+    - {!feature_blocks}: blocks exercised only by undesired requests —
+      [blk ∈ CovG_undesired ∧ blk ∉ CovG_wanted], with shared-library
+      blocks filtered out;
+    - {!init_blocks}: blocks exercised only before the initialization
+      nudge — [blk ∈ CovG_init ∧ blk ∉ CovG_serving]. *)
+
+type report = {
+  undesired : Covgraph.block list;  (** blocks safe to disable *)
+  n_undesired_raw : int;  (** before library filtering *)
+  n_wanted : int;
+  n_total_undesired_cov : int;
+}
+
+let no_cfg : string -> Cfg.t option = fun _ -> None
+
+(** Feature identification from wanted/undesired trace logs. Multiple
+    logs per side are merged first. [keep_module] defaults to dropping
+    [*.so] modules (Figure 4 shows libc.so blocks being excluded).
+    [cfg_of] canonicalizes coverage onto static blocks before diffing
+    (see {!Covgraph.normalize}) — required for sound wipe policies. *)
+let feature_blocks ?(keep_module = fun m -> not (Covgraph.is_shared_library m))
+    ?(cfg_of = no_cfg) ~(wanted : Drcov.log list) ~(undesired : Drcov.log list)
+    () : report =
+  let gw = Covgraph.normalize ~cfg_of (Covgraph.of_logs wanted) in
+  let gu = Covgraph.normalize ~cfg_of (Covgraph.of_logs undesired) in
+  let raw = Covgraph.diff gu gw in
+  let filtered = Covgraph.filter_modules keep_module raw in
+  {
+    undesired = filtered;
+    n_undesired_raw = List.length raw;
+    n_wanted = Covgraph.cardinal gw;
+    n_total_undesired_cov = Covgraph.cardinal gu;
+  }
+
+(** Initialization-only block identification from the two coverage dumps
+    produced by the nudge protocol (§3.1): the blocks covered during
+    initialization that never re-appear during serving. *)
+let init_blocks ?(keep_module = fun _ -> true) ?(cfg_of = no_cfg)
+    ~(init : Drcov.log) ~(serving : Drcov.log) () : report =
+  let gi = Covgraph.normalize ~cfg_of (Covgraph.of_log init) in
+  let gs = Covgraph.normalize ~cfg_of (Covgraph.of_log serving) in
+  let raw = Covgraph.diff gi gs in
+  let filtered = Covgraph.filter_modules keep_module raw in
+  {
+    undesired = filtered;
+    n_undesired_raw = List.length raw;
+    n_wanted = Covgraph.cardinal gs;
+    n_total_undesired_cov = Covgraph.cardinal gi;
+  }
+
+(** Human-readable listing in the style of Figure 4's tool output. *)
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "tracediff: %d undesired blocks (%d before library filtering); wanted coverage %d blocks@."
+    (List.length r.undesired) r.n_undesired_raw r.n_wanted;
+  List.iter
+    (fun b -> Format.fprintf fmt "  %a@." Covgraph.pp_block b)
+    r.undesired

@@ -1,0 +1,36 @@
+(** tracediff — undesired code-block identification (paper §3.1,
+    Figure 4). *)
+
+type report = {
+  undesired : Covgraph.block list;  (** blocks safe to disable *)
+  n_undesired_raw : int;  (** candidate count before module filtering *)
+  n_wanted : int;  (** size of the wanted coverage *)
+  n_total_undesired_cov : int;  (** size of the undesired coverage *)
+}
+
+val no_cfg : string -> Cfg.t option
+(** The identity CFG provider (no normalization). *)
+
+val feature_blocks :
+  ?keep_module:(string -> bool) ->
+  ?cfg_of:(string -> Cfg.t option) ->
+  wanted:Drcov.log list ->
+  undesired:Drcov.log list ->
+  unit ->
+  report
+(** Feature identification: [blk ∈ CovG_undesired ∧ blk ∉ CovG_wanted].
+    Multiple logs per side merge first. [keep_module] defaults to
+    dropping [*.so] modules; [cfg_of] enables sound static-block
+    canonicalization (recommended for any wipe policy). *)
+
+val init_blocks :
+  ?keep_module:(string -> bool) ->
+  ?cfg_of:(string -> Cfg.t option) ->
+  init:Drcov.log ->
+  serving:Drcov.log ->
+  unit ->
+  report
+(** Initialization-only identification from the two nudge-protocol dumps:
+    [blk ∈ CovG_init ∧ blk ∉ CovG_serving]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/criu/checkpoint.ml: Abi Array Buffer Fun Hashtbl Images Int64 List Machine Mem Net Printf Proc Self Vfs

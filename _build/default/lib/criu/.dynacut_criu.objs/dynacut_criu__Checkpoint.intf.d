@@ -1,0 +1,1 @@
+lib/criu/checkpoint.mli: Images Machine

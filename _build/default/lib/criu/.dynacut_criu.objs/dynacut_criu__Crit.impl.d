@@ -1,0 +1,1 @@
+lib/criu/crit.ml: Array Bytes Bytesx Char Images Int64 List Net Printf Self Sexpr String Table

@@ -1,0 +1,1 @@
+lib/criu/images.ml: Array Bytes Bytesx Int64 List Net Printf String

@@ -1,0 +1,1 @@
+lib/criu/images.mli: Net

@@ -1,0 +1,1 @@
+lib/criu/restore.ml: Array Bytes Hashtbl Images Int64 List Machine Mem Net Printf Proc Self Vfs

@@ -1,0 +1,1 @@
+lib/criu/restore.mli: Images Machine Proc

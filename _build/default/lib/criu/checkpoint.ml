@@ -1,0 +1,154 @@
+(** Checkpoint: dump a (frozen) process into {!Images}.
+
+    Mirrors the paper's CRIU modification (§3.3): vanilla CRIU does not
+    dump file-backed executable pages — they are reconstructed from the
+    binary on restore, which would silently *undo* any [int3] patches.
+    DynaCut's added option ([`Dynacut] mode here) dumps private+executable
+    pages too, so rewritten code survives the restore. *)
+
+type mode =
+  | Vanilla  (** skip file-backed executable pages (restored from file) *)
+  | Dynacut  (** dump PROT_EXEC | FILE_PRIVATE pages as well *)
+
+let page_size = Mem.page_size
+
+let dump_vma_pages ~mode (v : Mem.vma) =
+  match mode with
+  | Dynacut -> true
+  | Vanilla -> not (v.Mem.va_file <> None && v.Mem.va_prot.Self.p_x)
+
+(** Dump one process. The caller should have frozen it
+    ({!Machine.freeze}); dumping a running process would be racy on a
+    real system — here we just require quiescence by convention. *)
+let dump (m : Machine.t) ~(pid : int) ?(mode = Dynacut) () : Images.t =
+  let p = Machine.proc_exn m pid in
+  let mem = p.Proc.mem in
+  let mm =
+    List.map
+      (fun (v : Mem.vma) ->
+        {
+          Images.vi_start = v.Mem.va_start;
+          vi_len = v.Mem.va_len;
+          vi_prot = Self.prot_to_int v.Mem.va_prot;
+          vi_file = v.Mem.va_file;
+          vi_name = v.Mem.va_name;
+        })
+      mem.Mem.vmas
+  in
+  (* pagemap + pages: coalesce consecutive populated pages of dumpable VMAs *)
+  let buf = Buffer.create 65536 in
+  let pagemap = ref [] in
+  let flush_run run_start run_pages =
+    match run_start with
+    | None -> ()
+    | Some start ->
+        pagemap :=
+          {
+            Images.pm_vaddr = start;
+            pm_npages = run_pages;
+            pm_off = Buffer.length buf - (run_pages * page_size);
+          }
+          :: !pagemap
+  in
+  List.iter
+    (fun (v : Mem.vma) ->
+      if dump_vma_pages ~mode v then begin
+        let pages = Mem.pages_of_vma mem v in
+        let run_start = ref None and run_pages = ref 0 and expect = ref 0L in
+        List.iter
+          (fun (vaddr, data) ->
+            if !run_start <> None && vaddr = !expect then begin
+              Buffer.add_bytes buf data;
+              incr run_pages;
+              expect := Int64.add vaddr (Int64.of_int page_size)
+            end
+            else begin
+              flush_run !run_start !run_pages;
+              run_start := Some vaddr;
+              run_pages := 1;
+              Buffer.add_bytes buf data;
+              expect := Int64.add vaddr (Int64.of_int page_size)
+            end)
+          pages;
+        flush_run !run_start !run_pages
+      end)
+    mem.Mem.vmas;
+  let regs = p.Proc.regs in
+  let core =
+    {
+      Images.c_pid = p.Proc.pid;
+      c_parent = p.Proc.parent;
+      c_comm = p.Proc.comm;
+      c_exe = p.Proc.exe_path;
+      c_regs =
+        {
+          Images.r_gpr = Array.copy regs.Proc.gpr;
+          r_rip = regs.Proc.rip;
+          r_flags = Proc.pack_flags regs;
+        };
+      c_sigactions =
+        List.filter_map
+          (fun signum ->
+            match p.Proc.sigactions.(signum) with
+            | Some { Proc.sa_handler; sa_restorer } ->
+                Some { Images.sg_signum = signum; sg_handler = sa_handler; sg_restorer = sa_restorer }
+            | None -> None)
+          (List.init Abi.nsig Fun.id);
+      c_state = Proc.state_to_string p.Proc.state;
+      c_seccomp = p.Proc.seccomp;
+    }
+  in
+  let f_fds =
+    Hashtbl.fold
+      (fun fd k acc ->
+        let ki =
+          match k with
+          | Proc.Fd_stdin -> Images.Fi_stdin
+          | Proc.Fd_stdout -> Images.Fi_stdout
+          | Proc.Fd_stderr -> Images.Fi_stderr
+          | Proc.Fd_file { path; pos } -> Images.Fi_file (path, pos)
+          | Proc.Fd_listener port -> Images.Fi_listener port
+          | Proc.Fd_sock cid -> Images.Fi_sock cid
+        in
+        (fd, ki) :: acc)
+      p.Proc.fds []
+    |> List.sort compare
+  in
+  let tcp =
+    List.filter_map
+      (fun (_, k) ->
+        match k with
+        | Images.Fi_sock cid -> (
+            match Net.find_conn m.Machine.net cid with
+            | Some c -> Some (Net.snapshot_conn c)
+            | None -> None)
+        | _ -> None)
+      f_fds
+  in
+  {
+    Images.core;
+    mm;
+    pagemap = List.rev !pagemap;
+    pages = Buffer.to_bytes buf;
+    files = { Images.f_fds; f_next_fd = p.Proc.next_fd };
+    tcp;
+    mmap_hint = p.Proc.mmap_hint;
+  }
+
+(** Dump a process and all its live descendants (multi-process apps such
+    as the Nginx-style master/worker server). *)
+let dump_tree (m : Machine.t) ~(root : int) ?(mode = Dynacut) () : Images.t list =
+  let rec descendants pid =
+    let kids =
+      List.filter (fun (q : Proc.t) -> q.Proc.parent = pid && Proc.is_live q) (Machine.all_procs m)
+    in
+    pid :: List.concat_map (fun (q : Proc.t) -> descendants q.Proc.pid) kids
+  in
+  List.map (fun pid -> dump m ~pid ~mode ()) (descendants root)
+
+(** Serialize into the machine's tmpfs (paper §3.3 checkpoints into a
+    tmpfs to keep rewrite latency off the disk). Returns the file path. *)
+let save_to_tmpfs (m : Machine.t) ~(dir : string) (img : Images.t) : string =
+  let path = Printf.sprintf "%s/dump-%d.img" dir img.Images.core.Images.c_pid in
+  Vfs.add m.Machine.fs path (Images.encode img);
+  path

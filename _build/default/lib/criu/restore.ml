@@ -1,0 +1,129 @@
+(** Restore: rebuild a live process from {!Images}.
+
+    Re-creates the address space from [mm] + [pagemap] + [pages], pulls
+    any non-dumped file-backed executable ranges back from the binary
+    (vanilla-CRIU behaviour), restores registers, signal dispositions and
+    the fd table, and performs TCP repair so established connections
+    carry on — the property Figure 8 depends on. *)
+
+exception Restore_error of string
+
+let page_size = Mem.page_size
+
+(** Fetch the file-backed bytes of a VMA range from a SELF binary in the
+    machine filesystem. *)
+let file_bytes (m : Machine.t) ~path ~off ~len : bytes =
+  match Vfs.find_self m.Machine.fs path with
+  | None -> raise (Restore_error ("backing file missing: " ^ path))
+  | Some self ->
+      let out = Bytes.make len '\x00' in
+      List.iter
+        (fun (s : Self.section) ->
+          let s_len = Bytes.length s.Self.sec_data in
+          (* overlap of [off, off+len) with [sec_off, sec_off+s_len) *)
+          let lo = max off s.Self.sec_off in
+          let hi = min (off + len) (s.Self.sec_off + s_len) in
+          if lo < hi then
+            Bytes.blit s.Self.sec_data (lo - s.Self.sec_off) out (lo - off) (hi - lo))
+        self.Self.sections;
+      out
+
+let restore (m : Machine.t) (img : Images.t) : Proc.t =
+  let core = img.Images.core in
+  (match Machine.proc m core.Images.c_pid with
+  | Some p when Proc.is_live p ->
+      raise (Restore_error (Printf.sprintf "pid %d still alive" core.Images.c_pid))
+  | _ -> ());
+  let mem = Mem.create () in
+  (* VMAs *)
+  List.iter
+    (fun (v : Images.vma_img) ->
+      let (_ : Mem.vma) =
+        Mem.map mem ~vaddr:v.Images.vi_start ~len:v.Images.vi_len
+          ~prot:(Self.prot_of_int v.Images.vi_prot)
+          ~file:v.Images.vi_file ~name:v.Images.vi_name ()
+      in
+      ())
+    img.Images.mm;
+  (* dumped pages *)
+  List.iter
+    (fun (pm : Images.pagemap_entry) ->
+      let len = pm.Images.pm_npages * page_size in
+      let data = Bytes.sub img.Images.pages pm.Images.pm_off len in
+      Mem.poke_bytes mem pm.Images.pm_vaddr data)
+    img.Images.pagemap;
+  (* vanilla-CRIU gaps: file-backed VMAs with no dumped pages are faulted
+     in from the binary *)
+  let populated vaddr =
+    List.exists
+      (fun (pm : Images.pagemap_entry) ->
+        vaddr >= pm.Images.pm_vaddr
+        && vaddr < Int64.add pm.Images.pm_vaddr (Int64.of_int (pm.Images.pm_npages * page_size)))
+      img.Images.pagemap
+  in
+  List.iter
+    (fun (v : Images.vma_img) ->
+      match v.Images.vi_file with
+      | None -> ()
+      | Some (path, off) ->
+          let npages = v.Images.vi_len / page_size in
+          for k = 0 to npages - 1 do
+            let vaddr = Int64.add v.Images.vi_start (Int64.of_int (k * page_size)) in
+            if not (populated vaddr) then
+              let data =
+                file_bytes m ~path ~off:(off + (k * page_size)) ~len:page_size
+              in
+              Mem.poke_bytes mem vaddr data
+          done)
+    img.Images.mm;
+  (* the process object *)
+  let p =
+    Proc.create ~pid:core.Images.c_pid ~parent:core.Images.c_parent
+      ~comm:core.Images.c_comm ~exe_path:core.Images.c_exe ~mem
+  in
+  Array.blit core.Images.c_regs.Images.r_gpr 0 p.Proc.regs.Proc.gpr 0 16;
+  p.Proc.regs.Proc.rip <- core.Images.c_regs.Images.r_rip;
+  Proc.unpack_flags p.Proc.regs core.Images.c_regs.Images.r_flags;
+  List.iter
+    (fun (s : Images.sigaction_img) ->
+      p.Proc.sigactions.(s.Images.sg_signum) <-
+        Some { Proc.sa_handler = s.Images.sg_handler; sa_restorer = s.Images.sg_restorer })
+    core.Images.c_sigactions;
+  Hashtbl.reset p.Proc.fds;
+  List.iter
+    (fun (fd, k) ->
+      let kind =
+        match k with
+        | Images.Fi_stdin -> Proc.Fd_stdin
+        | Images.Fi_stdout -> Proc.Fd_stdout
+        | Images.Fi_stderr -> Proc.Fd_stderr
+        | Images.Fi_file (path, pos) -> Proc.Fd_file { path; pos }
+        | Images.Fi_listener port -> Proc.Fd_listener port
+        | Images.Fi_sock cid -> Proc.Fd_sock cid
+      in
+      Hashtbl.replace p.Proc.fds fd kind)
+    img.Images.files.Images.f_fds;
+  p.Proc.next_fd <- img.Images.files.Images.f_next_fd;
+  p.Proc.mmap_hint <- img.Images.mmap_hint;
+  p.Proc.seccomp <- core.Images.c_seccomp;
+  (* TCP repair *)
+  List.iter
+    (fun (s : Net.conn_snapshot) -> ignore (Net.repair_conn m.Machine.net s))
+    img.Images.tcp;
+  (* re-create listeners for listening fds *)
+  List.iter
+    (fun (_, k) ->
+      match k with
+      | Images.Fi_listener port when port >= 0 ->
+          ignore (Net.listen m.Machine.net port)
+      | _ -> ())
+    img.Images.files.Images.f_fds;
+  p.Proc.state <- Proc.Runnable;
+  Machine.install m p;
+  p
+
+(** Restore from a serialized image in the machine tmpfs. *)
+let restore_from_tmpfs (m : Machine.t) ~(path : string) : Proc.t =
+  match Vfs.find m.Machine.fs path with
+  | None -> raise (Restore_error ("no image at " ^ path))
+  | Some blob -> restore m (Images.decode blob)

@@ -1,0 +1,14 @@
+(** Restore: rebuild a live process from {!Images}, including TCP repair
+    so established connections survive (§3.3, Figure 8). *)
+
+exception Restore_error of string
+
+val file_bytes : Machine.t -> path:string -> off:int -> len:int -> bytes
+(** Bytes of a SELF binary's image range, for vanilla-CRIU fault-in. *)
+
+val restore : Machine.t -> Images.t -> Proc.t
+(** Re-create the process: address space, registers, sigactions, fds,
+    repaired connections, re-registered listeners. Raises
+    {!Restore_error} if the pid is still alive. *)
+
+val restore_from_tmpfs : Machine.t -> path:string -> Proc.t

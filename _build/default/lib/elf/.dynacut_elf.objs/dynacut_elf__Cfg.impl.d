@@ -1,0 +1,1 @@
+lib/elf/cfg.ml: Bytes Decode Hashtbl Insn List Self

@@ -1,0 +1,1 @@
+lib/elf/cfg.mli: Self

@@ -1,0 +1,1 @@
+lib/elf/link.ml: Asm Bytes Encode Insn Int32 Int64 List Printf Reg Self String

@@ -1,0 +1,1 @@
+lib/elf/link.mli: Asm Self

@@ -1,0 +1,1 @@
+lib/elf/loader.ml: Bytes Int64 List Printf Self

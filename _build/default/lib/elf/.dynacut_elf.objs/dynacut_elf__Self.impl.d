@@ -1,0 +1,1 @@
+lib/elf/self.ml: Bytes Bytesx Format List Printf String

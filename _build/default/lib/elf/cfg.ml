@@ -1,0 +1,145 @@
+(** Static basic-block recovery over SELF executable sections.
+
+    The paper obtains "the number of total basic blocks of each binary ...
+    using Angr" (§4.2, Figure 9). This module is our Angr stand-in: a
+    recursive-descent/linear-sweep hybrid that decodes [.text] and [.plt],
+    collects branch targets and fall-through edges, and splits blocks at
+    every join point. *)
+
+type block = {
+  bb_off : int;  (** module-relative start *)
+  bb_size : int;
+  bb_insns : int;
+  bb_term : [ `Jmp | `Jcc | `Call | `Ret | `Ind | `Syscall | `Trap | `Fall ];
+}
+
+type t = {
+  cfg_module : string;
+  cfg_blocks : block list;  (** sorted by offset *)
+  cfg_edges : (int * int) list;  (** intra-module (from_block_off, to_block_off) *)
+}
+
+let term_of_insn (i : Insn.t) =
+  match i with
+  | Insn.Jmp _ -> `Jmp
+  | Insn.Jcc _ -> `Jcc
+  | Insn.Call _ -> `Call
+  | Insn.Ret -> `Ret
+  | Insn.Call_r _ | Insn.Jmp_r _ -> `Ind
+  | Insn.Syscall -> `Syscall
+  | Insn.Int3 | Insn.Hlt -> `Trap
+  | _ -> `Fall
+
+(** Decode one executable section into basic blocks. [extra_leaders] are
+    module-relative offsets known to be entry points from outside the
+    section's own branches — function symbols and PLT stubs. *)
+let blocks_of_section ?(extra_leaders = []) (sec : Self.section) :
+    block list * (int * int) list =
+  let data = sec.sec_data in
+  let size = Bytes.length data in
+  (* pass 1: linear decode, note instruction starts, leaders and edges *)
+  let insn_at = Hashtbl.create 1024 in
+  (* off -> (insn, len) *)
+  let pos = ref 0 in
+  (try
+     while !pos < size do
+       let insn, len = Decode.decode_at data !pos in
+       Hashtbl.replace insn_at !pos (insn, len);
+       pos := !pos + len
+     done
+   with Decode.Invalid_opcode _ | Decode.Truncated_insn -> ());
+  let leaders = Hashtbl.create 256 in
+  Hashtbl.replace leaders 0 ();
+  List.iter
+    (fun off ->
+      let rel = off - sec.sec_off in
+      if rel >= 0 && rel < size then Hashtbl.replace leaders rel ())
+    extra_leaders;
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun off (insn, len) ->
+      let next = off + len in
+      let mark o = if o >= 0 && o < size then Hashtbl.replace leaders o () in
+      match insn with
+      | Insn.Jmp rel ->
+          mark (next + rel);
+          edges := (off, next + rel) :: !edges;
+          mark next
+      | Insn.Jcc (_, rel) ->
+          mark (next + rel);
+          edges := (off, next + rel) :: (off, next) :: !edges;
+          mark next
+      | Insn.Call rel ->
+          mark (next + rel);
+          edges := (off, next + rel) :: (off, next) :: !edges;
+          mark next
+      | Insn.Call_r _ | Insn.Jmp_r _ | Insn.Ret | Insn.Syscall | Insn.Int3 | Insn.Hlt ->
+          mark next
+      | _ -> ())
+    insn_at;
+  (* pass 2: walk instructions in order, cutting at leaders and terminators *)
+  let blocks = ref [] in
+  let cur_start = ref None in
+  let cur_insns = ref 0 in
+  let flush_at stop term =
+    match !cur_start with
+    | None -> ()
+    | Some st ->
+        blocks := { bb_off = st; bb_size = stop - st; bb_insns = !cur_insns; bb_term = term } :: !blocks;
+        cur_start := None;
+        cur_insns := 0
+  in
+  let pos = ref 0 in
+  while !pos < size do
+    match Hashtbl.find_opt insn_at !pos with
+    | None ->
+        flush_at !pos `Trap;
+        incr pos (* undecodable (data padding) — skip a byte *)
+    | Some (insn, len) ->
+        if !cur_start = None then cur_start := Some !pos
+        else if Hashtbl.mem leaders !pos then begin
+          flush_at !pos `Fall;
+          cur_start := Some !pos
+        end;
+        incr cur_insns;
+        let next = !pos + len in
+        if Insn.is_block_end insn then flush_at next (term_of_insn insn);
+        pos := next
+  done;
+  flush_at !pos `Fall;
+  let base = sec.sec_off in
+  let blocks =
+    List.rev_map
+      (fun b -> { b with bb_off = b.bb_off + base })
+      !blocks
+    |> List.sort (fun a b -> compare a.bb_off b.bb_off)
+  in
+  let edges = List.rev_map (fun (f, t) -> (f + base, t + base)) !edges in
+  (blocks, edges)
+
+(** Recover all blocks of a module's executable sections. *)
+let of_self (self : Self.t) : t =
+  let exec_secs =
+    List.filter (fun (s : Self.section) -> s.sec_prot.Self.p_x) self.sections
+  in
+  let extra_leaders =
+    List.map (fun (s : Self.sym) -> s.Self.sym_off) self.symbols
+    @ List.map snd self.plt
+  in
+  let all = List.map (blocks_of_section ~extra_leaders) exec_secs in
+  {
+    cfg_module = self.name;
+    cfg_blocks =
+      List.concat_map fst all |> List.sort (fun a b -> compare a.bb_off b.bb_off);
+    cfg_edges = List.concat_map snd all;
+  }
+
+let block_count t = List.length t.cfg_blocks
+
+(** Filter out empty padding blocks (all-nop alignment runs). *)
+let real_blocks t = List.filter (fun b -> b.bb_size > 0) t.cfg_blocks
+
+let block_at t off = List.find_opt (fun b -> b.bb_off = off) t.cfg_blocks
+
+let block_containing t off =
+  List.find_opt (fun b -> off >= b.bb_off && off < b.bb_off + b.bb_size) t.cfg_blocks

@@ -1,0 +1,226 @@
+(** SELF — the Simulated ELF binary format.
+
+    A SELF binary is what the simulated filesystem stores and what the
+    loader maps: page-aligned sections with per-section permissions, a
+    symbol table, dynamic relocations for load-time patching, a PLT/GOT
+    map (the paper's §4.2 PLT-liveness analysis reads it), and a list of
+    needed shared libraries.
+
+    Section offsets are *module-relative*: an executable is linked at a
+    fixed base, a shared object ([`Dyn]) is position-independent and gets
+    its base assigned at load or — for DynaCut's injected signal-handler
+    library — chosen by the end user (paper §3.3). *)
+
+type prot = { p_r : bool; p_w : bool; p_x : bool }
+
+let prot_rx = { p_r = true; p_w = false; p_x = true }
+let prot_ro = { p_r = true; p_w = false; p_x = false }
+let prot_rw = { p_r = true; p_w = true; p_x = false }
+
+let prot_to_int p =
+  (if p.p_r then 4 else 0) lor (if p.p_w then 2 else 0) lor if p.p_x then 1 else 0
+
+let prot_of_int i =
+  { p_r = i land 4 <> 0; p_w = i land 2 <> 0; p_x = i land 1 <> 0 }
+
+let prot_to_string p =
+  Printf.sprintf "%c%c%c"
+    (if p.p_r then 'r' else '-')
+    (if p.p_w then 'w' else '-')
+    (if p.p_x then 'x' else '-')
+
+type section = {
+  sec_name : string;
+  sec_off : int;  (** module-relative address, page aligned *)
+  sec_data : bytes;
+  sec_prot : prot;
+}
+
+type sym_kind = Func | Object
+
+type sym = {
+  sym_name : string;
+  sym_off : int;  (** module-relative (the ELF st_value analogue) *)
+  sym_size : int;
+  sym_kind : sym_kind;
+  sym_global : bool;
+}
+
+(** A dynamic relocation patches the 8-byte slot at module-relative
+    [dr_off] at load time. *)
+type dynreloc = {
+  dr_off : int;
+  dr_target : [ `Extern of string  (** absolute address of a needed-lib symbol *)
+              | `Local of string  (** module base + local symbol offset *) ];
+  dr_addend : int;
+}
+
+type kind = Exec | Dyn
+
+type t = {
+  name : string;
+  kind : kind;
+  entry : int;  (** module-relative entry point (0 for libraries) *)
+  base : int64;  (** preferred base; 0 for position-independent [Dyn] *)
+  sections : section list;
+  symbols : sym list;
+  dynrelocs : dynreloc list;
+  needed : string list;
+  plt : (string * int) list;  (** extern function -> module-relative PLT stub *)
+  got : (string * int) list;  (** extern function -> module-relative GOT slot *)
+}
+
+let page_size = 4096
+let page_align n = (n + page_size - 1) / page_size * page_size
+
+let find_symbol t name = List.find_opt (fun s -> s.sym_name = name) t.symbols
+
+let find_section t name =
+  List.find_opt (fun s -> s.sec_name = name) t.sections
+
+let section_containing t off =
+  List.find_opt
+    (fun s -> off >= s.sec_off && off < s.sec_off + Bytes.length s.sec_data)
+    t.sections
+
+(** Total mapped size of the module (highest section end, page aligned). *)
+let image_size t =
+  List.fold_left
+    (fun acc s -> max acc (page_align (s.sec_off + Bytes.length s.sec_data)))
+    0 t.sections
+
+let text_size t =
+  match find_section t ".text" with
+  | Some s -> Bytes.length s.sec_data
+  | None -> 0
+
+(* ---------- serialization ---------- *)
+
+let magic = "SELF\x01"
+
+exception Format_error of string
+
+let to_bytes (t : t) : string =
+  let open Bytesx.W in
+  let b = create ~size:4096 () in
+  string b magic;
+  lstring b t.name;
+  u8 b (match t.kind with Exec -> 0 | Dyn -> 1);
+  int_as_u64 b t.entry;
+  u64 b t.base;
+  u32 b (List.length t.sections);
+  List.iter
+    (fun s ->
+      lstring b s.sec_name;
+      int_as_u64 b s.sec_off;
+      u8 b (prot_to_int s.sec_prot);
+      lbytes b s.sec_data)
+    t.sections;
+  u32 b (List.length t.symbols);
+  List.iter
+    (fun s ->
+      lstring b s.sym_name;
+      int_as_u64 b s.sym_off;
+      int_as_u64 b s.sym_size;
+      u8 b (match s.sym_kind with Func -> 0 | Object -> 1);
+      u8 b (if s.sym_global then 1 else 0))
+    t.symbols;
+  u32 b (List.length t.dynrelocs);
+  List.iter
+    (fun r ->
+      int_as_u64 b r.dr_off;
+      (match r.dr_target with
+      | `Extern s ->
+          u8 b 0;
+          lstring b s
+      | `Local s ->
+          u8 b 1;
+          lstring b s);
+      int_as_u64 b r.dr_addend)
+    t.dynrelocs;
+  u32 b (List.length t.needed);
+  List.iter (lstring b) t.needed;
+  u32 b (List.length t.plt);
+  List.iter
+    (fun (n, o) ->
+      lstring b n;
+      int_as_u64 b o)
+    t.plt;
+  u32 b (List.length t.got);
+  List.iter
+    (fun (n, o) ->
+      lstring b n;
+      int_as_u64 b o)
+    t.got;
+  contents b
+
+let of_bytes (s : string) : t =
+  let open Bytesx.R in
+  let r = of_string s in
+  let m = take r (String.length magic) in
+  if m <> magic then raise (Format_error "bad magic");
+  let name = lstring r in
+  let kind = match u8 r with 0 -> Exec | 1 -> Dyn | k -> raise (Format_error (Printf.sprintf "bad kind %d" k)) in
+  let entry = int_of_u64 r in
+  let base = u64 r in
+  let nsec = u32 r in
+  let sections =
+    List.init nsec (fun _ ->
+        let sec_name = lstring r in
+        let sec_off = int_of_u64 r in
+        let sec_prot = prot_of_int (u8 r) in
+        let sec_data = lbytes r in
+        { sec_name; sec_off; sec_prot; sec_data })
+  in
+  let nsym = u32 r in
+  let symbols =
+    List.init nsym (fun _ ->
+        let sym_name = lstring r in
+        let sym_off = int_of_u64 r in
+        let sym_size = int_of_u64 r in
+        let sym_kind = match u8 r with 0 -> Func | _ -> Object in
+        let sym_global = u8 r = 1 in
+        { sym_name; sym_off; sym_size; sym_kind; sym_global })
+  in
+  let nrel = u32 r in
+  let dynrelocs =
+    List.init nrel (fun _ ->
+        let dr_off = int_of_u64 r in
+        let dr_target =
+          match u8 r with
+          | 0 -> `Extern (lstring r)
+          | _ -> `Local (lstring r)
+        in
+        let dr_addend = int_of_u64 r in
+        { dr_off; dr_target; dr_addend })
+  in
+  let nneed = u32 r in
+  let needed = List.init nneed (fun _ -> lstring r) in
+  let nplt = u32 r in
+  let plt =
+    List.init nplt (fun _ ->
+        let n = lstring r in
+        let o = int_of_u64 r in
+        (n, o))
+  in
+  let ngot = u32 r in
+  let got =
+    List.init ngot (fun _ ->
+        let n = lstring r in
+        let o = int_of_u64 r in
+        (n, o))
+  in
+  { name; kind; entry; base; sections; symbols; dynrelocs; needed; plt; got }
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%s) entry=0x%x base=0x%Lx@." t.name
+    (match t.kind with Exec -> "EXEC" | Dyn -> "DYN")
+    t.entry t.base;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %-10s off=0x%-8x size=%-8d %s@." s.sec_name s.sec_off
+        (Bytes.length s.sec_data) (prot_to_string s.sec_prot))
+    t.sections;
+  Format.fprintf fmt "  %d symbols, %d dynrelocs, %d PLT entries, needs [%s]@."
+    (List.length t.symbols) (List.length t.dynrelocs) (List.length t.plt)
+    (String.concat "; " t.needed)

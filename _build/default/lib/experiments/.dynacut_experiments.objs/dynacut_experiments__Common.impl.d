@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Cfg Covgraph Drcov Format Hashtbl List Machine Option Self Spec Tracediff Vfs Workload

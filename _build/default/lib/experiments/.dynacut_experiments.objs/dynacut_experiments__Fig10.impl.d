@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Abi Cfg Chisel Common Covgraph Dynacut Format Hashtbl List Machine Razor String Timeline Workload

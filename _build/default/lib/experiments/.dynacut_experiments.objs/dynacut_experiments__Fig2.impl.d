@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Bytes Common Covgraph Format List Option Self Spec Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Common Covgraph Format List Printf Self String Tracediff Workload

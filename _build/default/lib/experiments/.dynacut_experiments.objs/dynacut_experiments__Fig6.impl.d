@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Common Covgraph Dynacut Format Images List Machine Option Printf Stats String Table Vfs Workload

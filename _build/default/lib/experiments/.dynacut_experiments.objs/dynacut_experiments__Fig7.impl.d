@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Common Dynacut Format Images List Machine Option Printf Proc Self Spec String Table Vfs Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Common Dynacut Format Int64 List Machine Net Option Printf Rkv Stats String Table Vfs Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Cfg Common Format List Printf Self Spec Stats Table Workload

@@ -1,0 +1,1 @@
+lib/experiments/security.ml: Checkpoint Common Covgraph Format Gadget List Machine Pltlive Printf Rewriter String Table Workload

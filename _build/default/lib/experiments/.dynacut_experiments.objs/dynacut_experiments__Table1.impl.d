@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Common Dynacut Format List Machine Printf Proc String Table Workload

@@ -1,0 +1,74 @@
+(** Figure 2: visualization of process memory footprints — executed
+    (serving) basic blocks, initialization-only basic blocks, and
+    never-executed basic blocks, for 605.mcf_s and the Lighttpd stand-in.
+
+    Rendered as an ASCII map of the binary's [.text]: each cell covers a
+    fixed byte range; '#' = executed post-init, '!' = init-only (the
+    paper's red), '.' = never executed (the paper's gray). *)
+
+type cell = Never | Init_only | Serving
+
+type result = {
+  f2_app : string;
+  f2_cells : cell array;
+  f2_bytes_per_cell : int;
+  f2_pct_never : float;
+  f2_pct_init : float;
+  f2_pct_serving : float;
+}
+
+let classify ~(app : Workload.app) : result =
+  let init_blocks, init_log, serving_log = Common.init_only_blocks app in
+  let exe = Common.app_exe app in
+  let text = Option.get (Self.find_section exe ".text") in
+  let tsize = Bytes.length text.Self.sec_data in
+  let cells_w = 64 in
+  let bytes_per_cell = max 16 (tsize / (cells_w * 24) * 16) in
+  let ncells = (tsize + bytes_per_cell - 1) / bytes_per_cell in
+  let cells = Array.make ncells Never in
+  let mark kind (b : Covgraph.block) =
+    if b.Covgraph.b_module = app.Workload.a_name then
+      let off = b.Covgraph.b_off - text.Self.sec_off in
+      if off >= 0 && off < tsize then
+        for k = off / bytes_per_cell to min (ncells - 1) ((off + b.Covgraph.b_size - 1) / bytes_per_cell)
+        do
+          (* serving wins over init-only *)
+          if not (cells.(k) = Serving && kind = Init_only) then cells.(k) <- kind
+        done
+  in
+  (* post-initialization coverage first, then overlay the init-only set
+     (a cell that runs in both phases counts as serving) *)
+  ignore init_log;
+  List.iter (mark Serving) (Covgraph.blocks (Covgraph.of_log serving_log));
+  List.iter (mark Init_only) init_blocks;
+  let count k = Array.fold_left (fun a c -> if c = k then a + 1 else a) 0 cells in
+  let pct k = 100. *. float_of_int (count k) /. float_of_int (max 1 ncells) in
+  {
+    f2_app = app.Workload.a_name;
+    f2_cells = cells;
+    f2_bytes_per_cell = bytes_per_cell;
+    f2_pct_never = pct Never;
+    f2_pct_init = pct Init_only;
+    f2_pct_serving = pct Serving;
+  }
+
+let render fmt (r : result) =
+  Format.fprintf fmt "%s (.text map, 1 cell = %d bytes)@." r.f2_app r.f2_bytes_per_cell;
+  Format.fprintf fmt "  '#' executed (serving)  '!' init-only  '.' never executed@.";
+  Array.iteri
+    (fun k c ->
+      if k mod 64 = 0 then Format.fprintf fmt "  ";
+      Format.pp_print_char fmt (match c with Never -> '.' | Init_only -> '!' | Serving -> '#');
+      if k mod 64 = 63 then Format.fprintf fmt "@.")
+    r.f2_cells;
+  if Array.length r.f2_cells mod 64 <> 0 then Format.fprintf fmt "@.";
+  Format.fprintf fmt "  never-executed %.1f%%  init-only %.1f%%  serving %.1f%%@.@."
+    r.f2_pct_never r.f2_pct_init r.f2_pct_serving
+
+let run fmt =
+  Common.section fmt "Figure 2: memory footprint of executed / init-only / unused blocks";
+  let mcf = classify ~app:(Workload.spec_app Spec.mcf) in
+  let ltpd = classify ~app:Workload.ltpd in
+  render fmt mcf;
+  render fmt ltpd;
+  (mcf, ltpd)

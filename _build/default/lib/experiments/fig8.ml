@@ -1,0 +1,133 @@
+(** Figure 8: Redis-server throughput under DynaCut, on the virtual
+    clock. A closed-loop client floods GET requests; at t≈18 s DynaCut
+    rewrites the process to disable the SET command, at t≈48 s it
+    re-enables it; a vanilla run is the baseline.
+
+    Time model: 1 "second" = 1M virtual cycles. While the target is
+    frozen, the service interruption is charged to the virtual clock as
+    [interrupt_cycles = 300k + image_bytes/2] — calibrated so a
+    rkv-sized image costs the ≈0.4–1 s the paper measures (§4.1). The
+    rewrite work itself is real (the same checkpoint → patch → restore
+    pipeline as Figure 6); only its *duration on the guest clock* is
+    modeled, since host CPU time has no meaning for the virtual clock. *)
+
+let cycles_per_second = 1_000_000
+let total_seconds = 70
+let disable_at = 18
+let reenable_at = 48
+
+let interrupt_cycles ~image_bytes = 300_000 + (image_bytes / 2)
+
+type run = {
+  f8_throughput : float array;  (** replies per virtual second *)
+  f8_interruption_s : float;  (** modeled interruption, seconds *)
+  f8_label : string;
+}
+
+let closed_loop_run ~(dynacut : bool) : run =
+  let blocks = if dynacut then Common.rkv_feature_blocks Workload.kv_undesired else [] in
+  let c = Workload.spawn Workload.rkv in
+  Workload.wait_ready c;
+  let m = c.Workload.m in
+  let session = if dynacut then Some (Dynacut.create m ~root_pid:c.Workload.pid) else None in
+  let counts = Array.make total_seconds 0 in
+  let journals = ref [] in
+  let interruption = ref 0 in
+  (* closed-loop client state *)
+  let outstanding : Net.conn option ref = ref None in
+  let t0 = m.Machine.clock in
+  let now_s () = Int64.to_int (Int64.sub m.Machine.clock t0) / cycles_per_second in
+  let pump () =
+    (match !outstanding with
+    | None ->
+        let conn = Net.connect m.Machine.net Rkv.port in
+        Net.client_send conn "GET greeting\n";
+        outstanding := Some conn
+    | Some conn ->
+        if Net.client_pending conn > 0 then begin
+          let (_ : string) = Net.client_recv conn in
+          Net.client_close conn;
+          let s = now_s () in
+          if s < total_seconds then counts.(s) <- counts.(s) + 1;
+          outstanding := None
+        end);
+    ignore (Machine.run m ~max_cycles:5_000)
+  in
+  let apply_cut () =
+    match session with
+    | None -> ()
+    | Some session ->
+        let js, _t =
+          Dynacut.cut session ~blocks
+            ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect "rkv_err" }
+        in
+        journals := js;
+        let image_bytes =
+          List.fold_left
+            (fun acc pid ->
+              acc
+              + String.length
+                  (Option.get
+                     (Vfs.find m.Machine.fs
+                        (Printf.sprintf "%s/dump-%d.img" session.Dynacut.tmpfs pid))))
+            0 (Dynacut.tree_pids session)
+        in
+        let dc = interrupt_cycles ~image_bytes in
+        interruption := dc;
+        m.Machine.clock <- Int64.add m.Machine.clock (Int64.of_int dc)
+  in
+  let apply_reenable () =
+    match session with
+    | None -> ()
+    | Some session ->
+        let (_ : Dynacut.timings) = Dynacut.reenable session !journals in
+        m.Machine.clock <- Int64.add m.Machine.clock (Int64.of_int !interruption)
+  in
+  let cut_done = ref false and reenable_done = ref false in
+  while now_s () < total_seconds do
+    if dynacut && (not !cut_done) && now_s () >= disable_at then begin
+      apply_cut ();
+      cut_done := true
+    end;
+    if dynacut && (not !reenable_done) && now_s () >= reenable_at then begin
+      apply_reenable ();
+      reenable_done := true
+    end;
+    pump ()
+  done;
+  (* sanity of the final state *)
+  if dynacut then begin
+    let r = Workload.rpc c "SET probe val\n" in
+    if r <> "+OK" then failwith ("fig8: SET not re-enabled: " ^ r)
+  end;
+  {
+    f8_throughput = Array.map float_of_int counts;
+    f8_interruption_s = float_of_int !interruption /. float_of_int cycles_per_second;
+    f8_label = (if dynacut then "w/ DynaCut" else "w/o DynaCut");
+  }
+
+let run fmt =
+  Common.section fmt
+    "Figure 8: rkv throughput while disabling/re-enabling the SET command";
+  let vanilla = closed_loop_run ~dynacut:false in
+  let dc = closed_loop_run ~dynacut:true in
+  Format.fprintf fmt
+    "closed-loop GET client; disable SET at t=%ds, re-enable at t=%ds; modeled@.\
+     interruption %.2f virtual seconds per rewrite@.@."
+    disable_at reenable_at dc.f8_interruption_s;
+  Format.fprintf fmt "%s@."
+    (Table.timeseries ~ylabel:"time (virtual s)"
+       [ (dc.f8_label, dc.f8_throughput); (vanilla.f8_label, vanilla.f8_throughput) ]);
+  let mean a lo hi =
+    let xs = ref [] in
+    Array.iteri (fun i x -> if i >= lo && i < hi then xs := x :: !xs) a;
+    Stats.mean !xs
+  in
+  Format.fprintf fmt
+    "mean throughput (req/s): vanilla %.0f | DynaCut before cut %.0f, during@.\
+     disabled window %.0f, after re-enable %.0f@."
+    (mean vanilla.f8_throughput 2 total_seconds)
+    (mean dc.f8_throughput 2 disable_at)
+    (mean dc.f8_throughput (disable_at + 2) reenable_at)
+    (mean dc.f8_throughput (reenable_at + 2) total_seconds);
+  (vanilla, dc)

@@ -1,0 +1,88 @@
+(** Figure 9: number of executed basic blocks, number of
+    initialization-only basic blocks removed by DynaCut, total static
+    basic blocks (Angr in the paper, {!Cfg} here), binary code size, and
+    the size of the removed initialization code, per application. *)
+
+type row = {
+  f9_app : string;
+  f9_executed : int;  (** deduplicated executed blocks in the app binary *)
+  f9_removed : int;  (** init-only blocks removed *)
+  f9_total_static : int;  (** Angr-style static block count *)
+  f9_code_size : int;
+  f9_init_size : int;  (** bytes of removed init code *)
+}
+
+let pct_removed r =
+  100. *. float_of_int r.f9_removed /. float_of_int (max 1 r.f9_executed)
+
+let apps : Workload.app list =
+  [
+    Workload.ltpd;
+    Workload.ngx;
+    Workload.spec_app Spec.perlbench;
+    Workload.spec_app Spec.mcf;
+    Workload.spec_app Spec.omnetpp;
+    Workload.spec_app Spec.xalancbmk;
+    Workload.spec_app Spec.x264;
+    Workload.spec_app Spec.deepsjeng;
+    Workload.spec_app Spec.leela;
+  ]
+
+let measure (app : Workload.app) : row =
+  let init_blocks, init_log, serving_log = Common.init_only_blocks app in
+  let name = app.Workload.a_name in
+  let executed = Common.executed_own name [ init_log; serving_log ] in
+  let own_init = Common.own_blocks name init_blocks in
+  let exe = Common.app_exe app in
+  let cfg = Cfg.of_self exe in
+  {
+    f9_app = name;
+    f9_executed = List.length executed;
+    f9_removed = List.length own_init;
+    f9_total_static = List.length (Cfg.real_blocks cfg);
+    f9_code_size = Self.text_size exe;
+    f9_init_size = Common.own_code_bytes name init_blocks;
+  }
+
+let run fmt =
+  Common.section fmt
+    "Figure 9: executed vs removed (init-only) basic blocks per application";
+  let rows = List.map measure apps in
+  Format.fprintf fmt "%s@."
+    (Table.render
+       ~headers:
+         [
+           "app"; "BB executed"; "BB removed"; "% removed"; "total BB #";
+           "code size"; "init code rm";
+         ]
+       (List.map
+          (fun r ->
+            [
+              r.f9_app;
+              string_of_int r.f9_executed;
+              string_of_int r.f9_removed;
+              Printf.sprintf "%.1f%%" (pct_removed r);
+              string_of_int r.f9_total_static;
+              Table.human_bytes r.f9_code_size;
+              Table.human_bytes r.f9_init_size;
+            ])
+          rows));
+  let spec_rows =
+    List.filter (fun r -> r.f9_app <> "ltpd" && r.f9_app <> "ngx") rows
+  in
+  let avg = Stats.mean (List.map pct_removed spec_rows) in
+  Format.fprintf fmt
+    "@.SPEC removal rate: %.1f%% .. %.1f%% (average %.1f%%); servers: ltpd %.1f%%, ngx %.1f%%@."
+    (List.fold_left (fun a r -> min a (pct_removed r)) 100. spec_rows)
+    (List.fold_left (fun a r -> max a (pct_removed r)) 0. spec_rows)
+    avg
+    (pct_removed (List.find (fun r -> r.f9_app = "ltpd") rows))
+    (pct_removed (List.find (fun r -> r.f9_app = "ngx") rows));
+  Format.fprintf fmt "@.%s@."
+    (Table.stacked_bars ~unit:" blocks" ~segments:[ "removed (init-only)"; "still live" ]
+       (List.map
+          (fun r ->
+            ( r.f9_app,
+              [ float_of_int r.f9_removed; float_of_int (r.f9_executed - r.f9_removed) ] ))
+          rows));
+  rows

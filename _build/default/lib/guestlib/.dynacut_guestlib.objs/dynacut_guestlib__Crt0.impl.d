@@ -1,0 +1,1 @@
+lib/guestlib/crt0.ml: Abi Asm Ast Compile Insn Int64 Link Reg Self

@@ -1,0 +1,1 @@
+lib/guestlib/handler.ml: Abi Asm Compile Dsl Insn Int64 Link Reg Self

@@ -1,0 +1,1 @@
+lib/guestlib/handler.mli: Ast Self

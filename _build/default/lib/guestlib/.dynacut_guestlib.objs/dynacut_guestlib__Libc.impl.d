@@ -1,0 +1,1 @@
+lib/guestlib/libc.ml: Abi Asm Compile Dsl Insn Int64 Link List Reg Self

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Bytes Bytesx Encode Hashtbl Insn List Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Bytes Char Format Insn Int64 List Reg

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Bytesx Insn List Printf Reg

@@ -1,0 +1,186 @@
+(** vx86 instruction encoder.
+
+    Opcode map (deliberately x86-flavoured where it matters):
+
+    {v
+      0x90 nop          0xCC int3         0xF4 hlt          0xC3 ret
+      0x01 mov r,r      0x02 mov r,imm64  0x03 load         0x04 store
+      0x05 load8        0x06 store8
+      0x10 add r,r      0x11 add r,i32    0x12 sub r,r      0x13 sub r,i32
+      0x14 imul         0x15 idiv         0x16 imod
+      0x17 and          0x18 or           0x19 xor
+      0x1A shl r,i8     0x1B shr r,i8     0x1C sar r,i8
+      0x1D shl r,r      0x1E shr r,r      0x1F neg          0x20 not
+      0x21 cmp r,r      0x22 cmp r,i32    0x23 test r,r
+      0x30 jmp rel32    0x31 jcc c,rel32  0x32 call rel32
+      0x33 call r       0x34 jmp r        0x36 push         0x37 pop
+      0x40 syscall      0x41 lea r,[rip+d32]
+    v} *)
+
+exception Encode_error of string
+
+let check_i32 what v =
+  if v < -0x8000_0000 || v > 0x7fff_ffff then
+    raise (Encode_error (Printf.sprintf "%s: %d does not fit in 32 bits" what v))
+
+let check_shift what v =
+  if v < 0 || v > 63 then
+    raise (Encode_error (Printf.sprintf "%s: shift count %d out of range" what v))
+
+(* 32-bit two's-complement write of an OCaml int *)
+let w_i32 b v = Bytesx.W.u32 b (v land 0xffff_ffff)
+let w_reg b r = Bytesx.W.u8 b (Reg.to_int r)
+let w_regpair b a c = Bytesx.W.u8 b ((Reg.to_int a lsl 4) lor Reg.to_int c)
+
+let emit (b : Bytesx.W.t) (i : Insn.t) =
+  let open Bytesx.W in
+  let open Insn in
+  match i with
+  | Nop -> u8 b 0x90
+  | Int3 -> u8 b 0xCC
+  | Hlt -> u8 b 0xF4
+  | Ret -> u8 b 0xC3
+  | Syscall -> u8 b 0x40
+  | Mov_rr (d, s) ->
+      u8 b 0x01;
+      w_regpair b d s
+  | Mov_ri (d, imm) ->
+      u8 b 0x02;
+      w_reg b d;
+      u64 b imm
+  | Load (d, s, off) ->
+      check_i32 "load disp" off;
+      u8 b 0x03;
+      w_reg b d;
+      w_reg b s;
+      w_i32 b off
+  | Store (d, off, s) ->
+      check_i32 "store disp" off;
+      u8 b 0x04;
+      w_reg b d;
+      w_reg b s;
+      w_i32 b off
+  | Load8 (d, s, off) ->
+      check_i32 "load8 disp" off;
+      u8 b 0x05;
+      w_reg b d;
+      w_reg b s;
+      w_i32 b off
+  | Store8 (d, off, s) ->
+      check_i32 "store8 disp" off;
+      u8 b 0x06;
+      w_reg b d;
+      w_reg b s;
+      w_i32 b off
+  | Add_rr (d, s) ->
+      u8 b 0x10;
+      w_regpair b d s
+  | Add_ri (d, v) ->
+      check_i32 "add imm" v;
+      u8 b 0x11;
+      w_reg b d;
+      w_i32 b v
+  | Sub_rr (d, s) ->
+      u8 b 0x12;
+      w_regpair b d s
+  | Sub_ri (d, v) ->
+      check_i32 "sub imm" v;
+      u8 b 0x13;
+      w_reg b d;
+      w_i32 b v
+  | Imul_rr (d, s) ->
+      u8 b 0x14;
+      w_regpair b d s
+  | Idiv_rr (d, s) ->
+      u8 b 0x15;
+      w_regpair b d s
+  | Imod_rr (d, s) ->
+      u8 b 0x16;
+      w_regpair b d s
+  | And_rr (d, s) ->
+      u8 b 0x17;
+      w_regpair b d s
+  | Or_rr (d, s) ->
+      u8 b 0x18;
+      w_regpair b d s
+  | Xor_rr (d, s) ->
+      u8 b 0x19;
+      w_regpair b d s
+  | Shl_ri (d, n) ->
+      check_shift "shl" n;
+      u8 b 0x1A;
+      w_reg b d;
+      u8 b n
+  | Shr_ri (d, n) ->
+      check_shift "shr" n;
+      u8 b 0x1B;
+      w_reg b d;
+      u8 b n
+  | Sar_ri (d, n) ->
+      check_shift "sar" n;
+      u8 b 0x1C;
+      w_reg b d;
+      u8 b n
+  | Shl_rr (d, s) ->
+      u8 b 0x1D;
+      w_regpair b d s
+  | Shr_rr (d, s) ->
+      u8 b 0x1E;
+      w_regpair b d s
+  | Neg r ->
+      u8 b 0x1F;
+      w_reg b r
+  | Not r ->
+      u8 b 0x20;
+      w_reg b r
+  | Cmp_rr (x, y) ->
+      u8 b 0x21;
+      w_regpair b x y
+  | Cmp_ri (x, v) ->
+      check_i32 "cmp imm" v;
+      u8 b 0x22;
+      w_reg b x;
+      w_i32 b v
+  | Test_rr (x, y) ->
+      u8 b 0x23;
+      w_regpair b x y
+  | Jmp rel ->
+      check_i32 "jmp rel" rel;
+      u8 b 0x30;
+      w_i32 b rel
+  | Jcc (c, rel) ->
+      check_i32 "jcc rel" rel;
+      u8 b 0x31;
+      u8 b (cond_to_int c);
+      w_i32 b rel
+  | Call rel ->
+      check_i32 "call rel" rel;
+      u8 b 0x32;
+      w_i32 b rel
+  | Call_r r ->
+      u8 b 0x33;
+      w_reg b r
+  | Jmp_r r ->
+      u8 b 0x34;
+      w_reg b r
+  | Push r ->
+      u8 b 0x36;
+      w_reg b r
+  | Pop r ->
+      u8 b 0x37;
+      w_reg b r
+  | Lea (d, off) ->
+      check_i32 "lea disp" off;
+      u8 b 0x41;
+      w_reg b d;
+      w_i32 b off
+
+let to_bytes (i : Insn.t) : bytes =
+  let b = Bytesx.W.create ~size:12 () in
+  emit b i;
+  Bytesx.W.to_bytes b
+
+let program (is : Insn.t list) : bytes =
+  let b = Bytesx.W.create ~size:(16 * List.length is) () in
+  List.iter (emit b) is;
+  Bytesx.W.to_bytes b

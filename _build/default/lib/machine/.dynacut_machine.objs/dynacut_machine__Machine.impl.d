@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Abi Array Buffer Bytes Bytesx Decode Hashtbl Insn Int64 List Loader Mem Net Printf Proc Reg Rng Self String Vfs

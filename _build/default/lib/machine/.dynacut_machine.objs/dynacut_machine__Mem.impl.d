@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Buffer Bytes Char Fun Hashtbl Int64 List Printf Self

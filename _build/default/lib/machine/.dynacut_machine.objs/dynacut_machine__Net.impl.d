@@ -1,0 +1,1 @@
+lib/machine/net.ml: Buffer Hashtbl String

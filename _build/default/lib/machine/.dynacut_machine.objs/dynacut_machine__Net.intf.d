@@ -1,0 +1,1 @@
+lib/machine/net.mli: Buffer

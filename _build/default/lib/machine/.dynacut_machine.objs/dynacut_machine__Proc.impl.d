@@ -1,0 +1,1 @@
+lib/machine/proc.ml: Abi Array Buffer Hashtbl Mem Printf Reg String

@@ -1,0 +1,1 @@
+lib/machine/proc.mli: Buffer Hashtbl Mem Reg

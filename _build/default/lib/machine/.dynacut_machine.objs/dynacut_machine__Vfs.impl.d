@@ -1,0 +1,1 @@
+lib/machine/vfs.ml: Bytesx Hashtbl List Self String

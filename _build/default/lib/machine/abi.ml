@@ -1,0 +1,121 @@
+(** The kernel ABI shared between the machine and guest code generators:
+    syscall numbers, signal numbers, and the signal-frame layout.
+
+    Guest libc ({!Dynacut_guestlib}) and the machine's syscall dispatcher
+    both read these constants, so they can never drift apart. *)
+
+(* --- syscall numbers (in rax; args in rdi, rsi, rdx, rcx) --- *)
+
+let sys_exit = 0
+let sys_write = 1
+let sys_read = 2
+let sys_open = 3
+let sys_close = 4
+let sys_mmap = 5
+let sys_munmap = 6
+let sys_mprotect = 7
+let sys_fork = 8
+let sys_sigaction = 9
+let sys_sigreturn = 10
+let sys_nanosleep = 11
+let sys_getpid = 12
+let sys_socket = 13
+let sys_bind = 14
+let sys_listen = 15
+let sys_accept = 16
+let sys_recv = 17
+let sys_send = 18
+let sys_gettime = 19
+let sys_kill = 20
+let sys_rand = 21
+
+let syscall_name = function
+  | 0 -> "exit"
+  | 1 -> "write"
+  | 2 -> "read"
+  | 3 -> "open"
+  | 4 -> "close"
+  | 5 -> "mmap"
+  | 6 -> "munmap"
+  | 7 -> "mprotect"
+  | 8 -> "fork"
+  | 9 -> "sigaction"
+  | 10 -> "sigreturn"
+  | 11 -> "nanosleep"
+  | 12 -> "getpid"
+  | 13 -> "socket"
+  | 14 -> "bind"
+  | 15 -> "listen"
+  | 16 -> "accept"
+  | 17 -> "recv"
+  | 18 -> "send"
+  | 19 -> "gettime"
+  | 20 -> "kill"
+  | 21 -> "rand"
+  | n -> Printf.sprintf "sys_%d" n
+
+(* --- errno-style return values (negative, like raw Linux syscalls) --- *)
+
+let enoent = -2
+let ebadf = -9
+let enomem = -12
+let efault = -14
+let einval = -22
+let enosys = -38
+let econnreset = -104
+
+(* --- signals --- *)
+
+let sigill = 4
+let sigtrap = 5
+let sigfpe = 8
+let sigkill = 9
+let sigsegv = 11
+let sigterm = 15
+let sigsys = 31
+let nsig = 32
+
+let signal_name = function
+  | 4 -> "SIGILL"
+  | 5 -> "SIGTRAP"
+  | 8 -> "SIGFPE"
+  | 9 -> "SIGKILL"
+  | 11 -> "SIGSEGV"
+  | 15 -> "SIGTERM"
+  | 31 -> "SIGSYS"
+  | n -> Printf.sprintf "SIG%d" n
+
+(* --- signal frame layout (pushed on the user stack at delivery) ---
+
+   offset  field
+   0       magic (FRAME_MAGIC)
+   8       signal number
+   16      saved rip            <- handlers rewrite this to redirect
+   24      saved flags (bit0 zf, bit1 sf, bit2 cf, bit3 of)
+   32      saved r0..r15 (16 x 8 bytes)
+   total   160 bytes
+
+   Delivery pushes the frame, then pushes the sigaction's restorer address
+   as the handler's return address, and sets rdi = signum,
+   rsi = frame address. The restorer issues sys_sigreturn with rsp at the
+   frame base. *)
+
+let frame_magic = 0x51C7F4A3L
+let frame_size = 160
+let frame_off_magic = 0
+let frame_off_signum = 8
+let frame_off_rip = 16
+let frame_off_flags = 24
+let frame_off_regs = 32
+
+(* --- mmap prot bits (match Self.prot_to_int) --- *)
+
+let prot_read = 4
+let prot_write = 2
+let prot_exec = 1
+
+(* --- file descriptors --- *)
+
+let fd_stdin = 0
+let fd_stdout = 1
+let fd_stderr = 2

@@ -1,0 +1,695 @@
+(** The virtual machine: processes, CPU interpreter, signal delivery,
+    syscall dispatch, round-robin scheduler, and a deterministic virtual
+    clock (1 cycle per retired instruction).
+
+    This plays the role of the Linux kernel + CPU in the paper's setup and
+    is part of the trusted computing base its threat model assumes (§2). *)
+
+type trace_hook = Proc.t -> int64 -> int -> unit
+(** Called with (process, block start vaddr, block size in bytes) whenever a
+    dynamic basic block completes — the tracer's input. *)
+
+type syscall_hook = Proc.t -> int -> unit
+(** Called with (process, syscall number) before each syscall is
+    dispatched — the probe behind automatic phase detection (§5's
+    "monitor specific system calls to determine the end of the
+    initialization phase"). *)
+
+type t = {
+  fs : Vfs.t;
+  net : Net.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  mutable clock : int64;
+  mutable trace : trace_hook option;
+  mutable on_syscall : syscall_hook option;
+  rng : Rng.t;
+  syscall_cost : int;  (** extra cycles charged per syscall *)
+  mutable spawn_order : int list;  (** pids in creation order, for RR *)
+}
+
+let create ?(seed = 42) () =
+  {
+    fs = Vfs.create ();
+    net = Net.create ();
+    procs = Hashtbl.create 8;
+    next_pid = 100;
+    clock = 0L;
+    trace = None;
+    on_syscall = None;
+    rng = Rng.create seed;
+    syscall_cost = 40;
+    spawn_order = [];
+  }
+
+let proc t pid = Hashtbl.find_opt t.procs pid
+
+let proc_exn t pid =
+  match proc t pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Machine.proc: no pid %d" pid)
+
+let live_procs t =
+  List.filter_map
+    (fun pid ->
+      match proc t pid with Some p when Proc.is_live p -> Some p | _ -> None)
+    (List.rev t.spawn_order)
+
+let all_procs t =
+  List.filter_map (fun pid -> proc t pid) (List.rev t.spawn_order)
+
+(* ---------- process creation ---------- *)
+
+exception Exec_error of string
+
+(** Load [exe_path] from the machine filesystem and create a process.
+    All SELF files present in the filesystem are candidates for resolving
+    [needed] libraries. *)
+let spawn t ~exe_path ?comm () =
+  let exe =
+    match Vfs.find_self t.fs exe_path with
+    | Some s -> s
+    | None -> raise (Exec_error ("no such binary: " ^ exe_path))
+  in
+  let libs =
+    List.filter_map (fun p -> Vfs.find_self t.fs p) (Vfs.list t.fs)
+  in
+  let img = Loader.load ~libs exe in
+  let mem = Mem.create () in
+  List.iter
+    (fun (m : Loader.mapping) ->
+      let len = Bytes.length m.map_data in
+      if len > 0 then begin
+        let (_ : Mem.vma) =
+          Mem.map mem ~vaddr:m.map_vaddr ~len ~prot:m.map_prot
+            ~file:(Some (m.map_file, m.map_file_off))
+            ~name:(m.map_module ^ ":" ^ m.map_section)
+            ()
+        in
+        (* loader writes bypass protections *)
+        Mem.poke_bytes mem m.map_vaddr m.map_data
+      end)
+    img.Loader.img_mappings;
+  let stack_lo = Int64.sub Proc.stack_top (Int64.of_int Proc.stack_size) in
+  let (_ : Mem.vma) =
+    Mem.map mem ~vaddr:stack_lo ~len:Proc.stack_size ~prot:Self.prot_rw ~name:"[stack]" ()
+  in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let comm = match comm with Some c -> c | None -> exe.Self.name in
+  let p = Proc.create ~pid ~parent:0 ~comm ~exe_path ~mem in
+  p.Proc.regs.Proc.rip <- img.Loader.img_entry;
+  Proc.set p.Proc.regs Reg.Rsp (Int64.sub Proc.stack_top 64L);
+  Hashtbl.replace t.procs pid p;
+  t.spawn_order <- pid :: t.spawn_order;
+  p
+
+(* ---------- tracing helpers ---------- *)
+
+let end_block t (p : Proc.t) ~(next : int64) =
+  match p.Proc.block_start with
+  | None -> ()
+  | Some start ->
+      let size = Int64.to_int (Int64.sub next start) in
+      (match t.trace with
+      | Some hook when size > 0 -> hook p start size
+      | _ -> ());
+      p.Proc.block_start <- None
+
+(* ---------- signals ---------- *)
+
+(** Deliver [signum] to [p] with the saved rip = [at] (the faulting /
+    trapping instruction). Builds the signal frame described in {!Abi} or
+    applies the default action (terminate). *)
+let deliver_signal t (p : Proc.t) ~(signum : int) ~(at : int64) =
+  end_block t p ~next:at;
+  let action =
+    if signum = Abi.sigkill then None else p.Proc.sigactions.(signum)
+  in
+  match action with
+  | None -> p.Proc.state <- Proc.Killed signum
+  | Some { Proc.sa_handler; sa_restorer } -> (
+      let regs = p.Proc.regs in
+      let rsp = Proc.get regs Reg.Rsp in
+      let frame = Int64.sub rsp (Int64.of_int Abi.frame_size) in
+      try
+        let w64 off v = Mem.write64 p.Proc.mem (Int64.add frame (Int64.of_int off)) v in
+        w64 Abi.frame_off_magic Abi.frame_magic;
+        w64 Abi.frame_off_signum (Int64.of_int signum);
+        w64 Abi.frame_off_rip at;
+        w64 Abi.frame_off_flags (Int64.of_int (Proc.pack_flags regs));
+        Array.iteri (fun i v -> w64 (Abi.frame_off_regs + (8 * i)) v) regs.Proc.gpr;
+        (* push the restorer as the handler's return address *)
+        let new_rsp = Int64.sub frame 8L in
+        Mem.write64 p.Proc.mem new_rsp sa_restorer;
+        Proc.set regs Reg.Rsp new_rsp;
+        Proc.set regs Reg.Rdi (Int64.of_int signum);
+        Proc.set regs Reg.Rsi frame;
+        regs.Proc.rip <- sa_handler;
+        (* a signal can only be handled by a runnable process; interrupt
+           blocking syscalls (they will restart after sigreturn) *)
+        p.Proc.state <- Proc.Runnable
+      with Mem.Fault _ ->
+        (* stack overflow while building the frame: double fault *)
+        p.Proc.state <- Proc.Killed Abi.sigsegv)
+
+let do_sigreturn (p : Proc.t) =
+  let regs = p.Proc.regs in
+  let frame = Proc.get regs Reg.Rsp in
+  let r64 off = Mem.read64 p.Proc.mem (Int64.add frame (Int64.of_int off)) in
+  try
+    if r64 Abi.frame_off_magic <> Abi.frame_magic then
+      p.Proc.state <- Proc.Killed Abi.sigsegv
+    else begin
+      let saved_rip = r64 Abi.frame_off_rip in
+      let saved_flags = Int64.to_int (r64 Abi.frame_off_flags) in
+      for i = 0 to 15 do
+        regs.Proc.gpr.(i) <- r64 (Abi.frame_off_regs + (8 * i))
+      done;
+      Proc.unpack_flags regs saved_flags;
+      regs.Proc.rip <- saved_rip
+      (* rsp restored from the frame's saved registers *)
+    end
+  with Mem.Fault _ -> p.Proc.state <- Proc.Killed Abi.sigsegv
+
+(** Host- or guest-initiated kill. *)
+let post_signal t ~pid ~signum =
+  match proc t pid with
+  | None -> ()
+  | Some p when Proc.is_live p -> deliver_signal t p ~signum ~at:p.Proc.regs.Proc.rip
+  | Some _ -> ()
+
+(* ---------- syscalls ---------- *)
+
+exception Seccomp_denied
+
+type sys_outcome =
+  | Ret of int64  (** advance rip, rax = value *)
+  | Block_retry of Proc.block_reason  (** do not advance rip; re-execute *)
+  | Block_after of Proc.block_reason  (** advance rip; resume on wake *)
+  | Terminate of Proc.state
+  | Sigret  (** registers fully replaced by the frame *)
+
+let fd_kind (p : Proc.t) fd = Hashtbl.find_opt p.Proc.fds (Int64.to_int fd)
+
+let do_syscall t (p : Proc.t) : sys_outcome =
+  let regs = p.Proc.regs in
+  let nr = Int64.to_int (Proc.get regs Reg.Rax) in
+  (match t.on_syscall with Some hook -> hook p nr | None -> ());
+  (* seccomp-style filtering (paper §5): a denied syscall delivers
+     SIGSYS, whose default action terminates *)
+  (match p.Proc.seccomp with
+  | Some denied when List.mem nr denied -> raise Seccomp_denied
+  | _ -> ());
+  let a1 = Proc.get regs Reg.Rdi
+  and a2 = Proc.get regs Reg.Rsi
+  and a3 = Proc.get regs Reg.Rdx
+  and a4 = Proc.get regs Reg.Rcx in
+  let ret_i i = Ret (Int64.of_int i) in
+  let open Abi in
+  try
+    if nr = sys_exit then Terminate (Proc.Exited (Int64.to_int a1))
+    else if nr = sys_write then (
+      let len = Int64.to_int a3 in
+      let data = Mem.read_bytes p.Proc.mem a2 len in
+      match fd_kind p a1 with
+      | Some (Proc.Fd_stdout | Proc.Fd_stderr) ->
+          Buffer.add_bytes p.Proc.stdout data;
+          ret_i len
+      | Some (Proc.Fd_sock cid) -> (
+          match Net.find_conn t.net cid with
+          | Some c -> ret_i (Net.server_send c (Bytes.to_string data))
+          | None -> ret_i econnreset)
+      | Some (Proc.Fd_file _) -> ret_i einval (* read-only fs *)
+      | Some (Proc.Fd_listener _) -> ret_i einval
+      | Some Proc.Fd_stdin | None -> ret_i ebadf)
+    else if nr = sys_read then (
+      match fd_kind p a1 with
+      | Some (Proc.Fd_file f) -> (
+          match Vfs.find t.fs f.path with
+          | None -> ret_i ebadf
+          | Some content ->
+              let len = min (Int64.to_int a3) (String.length content - f.pos) in
+              let len = max len 0 in
+              Mem.write_bytes p.Proc.mem a2 (Bytes.of_string (String.sub content f.pos len));
+              f.pos <- f.pos + len;
+              ret_i len)
+      | Some (Proc.Fd_sock cid) -> (
+          match Net.find_conn t.net cid with
+          | None -> ret_i econnreset
+          | Some c -> (
+              match Net.server_recv c (Int64.to_int a3) with
+              | Some s ->
+                  Mem.write_bytes p.Proc.mem a2 (Bytes.of_string s);
+                  ret_i (String.length s)
+              | None -> Block_retry (Proc.On_recv (Int64.to_int a1))))
+      | Some Proc.Fd_stdin -> ret_i 0 (* EOF *)
+      | _ -> ret_i ebadf)
+    else if nr = sys_open then (
+      let path = Mem.read_cstring p.Proc.mem a1 in
+      if Vfs.exists t.fs path then
+        ret_i (Proc.alloc_fd p (Proc.Fd_file { path; pos = 0 }))
+      else ret_i enoent)
+    else if nr = sys_close then (
+      match fd_kind p a1 with
+      | Some (Proc.Fd_sock cid) ->
+          (match Net.find_conn t.net cid with
+          | Some c -> Net.server_close c
+          | None -> ());
+          Hashtbl.remove p.Proc.fds (Int64.to_int a1);
+          ret_i 0
+      | Some _ ->
+          Hashtbl.remove p.Proc.fds (Int64.to_int a1);
+          ret_i 0
+      | None -> ret_i ebadf)
+    else if nr = sys_mmap then (
+      let len = Int64.to_int a2 in
+      let prot = Self.prot_of_int (Int64.to_int a3) in
+      if len <= 0 then ret_i einval
+      else begin
+        let vaddr =
+          if a1 = 0L then Mem.find_free p.Proc.mem ~hint:p.Proc.mmap_hint ~len
+          else a1
+        in
+        match Mem.map p.Proc.mem ~vaddr ~len ~prot ~name:"[anon]" () with
+        | v ->
+            p.Proc.mmap_hint <- Mem.vma_end v;
+            Ret vaddr
+        | exception Invalid_argument _ -> ret_i enomem
+      end)
+    else if nr = sys_munmap then (
+      Mem.unmap p.Proc.mem ~vaddr:a1 ~len:(Int64.to_int a2);
+      ret_i 0)
+    else if nr = sys_mprotect then (
+      Mem.protect p.Proc.mem ~vaddr:a1 ~len:(Int64.to_int a2)
+        ~prot:(Self.prot_of_int (Int64.to_int a3));
+      ret_i 0)
+    else if nr = sys_fork then (
+      let child_pid = t.next_pid in
+      t.next_pid <- child_pid + 1;
+      let child = Proc.fork_copy p ~pid:child_pid in
+      (* both continue after the syscall *)
+      let next = Int64.add regs.Proc.rip 1L in
+      child.Proc.regs.Proc.rip <- next;
+      Proc.set child.Proc.regs Reg.Rax 0L;
+      Hashtbl.replace t.procs child_pid child;
+      t.spawn_order <- child_pid :: t.spawn_order;
+      ret_i child_pid)
+    else if nr = sys_sigaction then (
+      let signum = Int64.to_int a1 in
+      if signum <= 0 || signum >= nsig || signum = sigkill then ret_i einval
+      else begin
+        p.Proc.sigactions.(signum) <-
+          (if a2 = 0L then None else Some { Proc.sa_handler = a2; sa_restorer = a3 });
+        ret_i 0
+      end)
+    else if nr = sys_sigreturn then (
+      do_sigreturn p;
+      Sigret)
+    else if nr = sys_nanosleep then
+      Block_after (Proc.On_sleep (Int64.add t.clock a1))
+    else if nr = sys_getpid then ret_i p.Proc.pid
+    else if nr = sys_socket then ret_i (Proc.alloc_fd p (Proc.Fd_listener (-1)))
+    else if nr = sys_bind then (
+      match fd_kind p a1 with
+      | Some (Proc.Fd_listener _) ->
+          Hashtbl.replace p.Proc.fds (Int64.to_int a1) (Proc.Fd_listener (Int64.to_int a2));
+          ret_i 0
+      | _ -> ret_i ebadf)
+    else if nr = sys_listen then (
+      match fd_kind p a1 with
+      | Some (Proc.Fd_listener port) when port >= 0 ->
+          let (_ : Net.listener) = Net.listen t.net port in
+          ret_i 0
+      | _ -> ret_i ebadf)
+    else if nr = sys_accept then (
+      match fd_kind p a1 with
+      | Some (Proc.Fd_listener port) -> (
+          match Net.find_listener t.net port with
+          | None -> ret_i einval
+          | Some l -> (
+              match Net.server_accept l with
+              | Some conn -> ret_i (Proc.alloc_fd p (Proc.Fd_sock conn.Net.conn_id))
+              | None -> Block_retry (Proc.On_accept (Int64.to_int a1))))
+      | _ -> ret_i ebadf)
+    else if nr = sys_recv then (
+      match fd_kind p a1 with
+      | Some (Proc.Fd_sock cid) -> (
+          match Net.find_conn t.net cid with
+          | None -> ret_i econnreset
+          | Some c -> (
+              match Net.server_recv c (Int64.to_int a3) with
+              | Some s ->
+                  Mem.write_bytes p.Proc.mem a2 (Bytes.of_string s);
+                  ret_i (String.length s)
+              | None -> Block_retry (Proc.On_recv (Int64.to_int a1))))
+      | _ -> ret_i ebadf)
+    else if nr = sys_send then (
+      match fd_kind p a1 with
+      | Some (Proc.Fd_sock cid) -> (
+          match Net.find_conn t.net cid with
+          | None -> ret_i econnreset
+          | Some c ->
+              let data = Mem.read_bytes p.Proc.mem a2 (Int64.to_int a3) in
+              ret_i (Net.server_send c (Bytes.to_string data)))
+      | _ -> ret_i ebadf)
+    else if nr = sys_gettime then Ret t.clock
+    else if nr = sys_kill then (
+      post_signal t ~pid:(Int64.to_int a1) ~signum:(Int64.to_int a2);
+      ret_i 0)
+    else if nr = sys_rand then
+      Ret (Int64.of_int (Rng.int t.rng (max 1 (Int64.to_int a1))))
+    else (
+      ignore a4;
+      ret_i enosys)
+  with
+  | Mem.Fault _ -> Ret (Int64.of_int efault)
+  | Bytesx.Truncated _ -> Ret (Int64.of_int efault)
+
+(* ---------- the interpreter ---------- *)
+
+let cond_true (regs : Proc.regs) (c : Insn.cond) =
+  let z = regs.Proc.zf
+  and s = regs.Proc.sf
+  and cf = regs.Proc.cf
+  and o = regs.Proc.of_ in
+  match c with
+  | Insn.Eq -> z
+  | Insn.Ne -> not z
+  | Insn.Lt -> s <> o
+  | Insn.Le -> z || s <> o
+  | Insn.Gt -> (not z) && s = o
+  | Insn.Ge -> s = o
+  | Insn.Ult -> cf
+  | Insn.Ule -> cf || z
+  | Insn.Ugt -> (not cf) && not z
+  | Insn.Uge -> not cf
+
+let set_cmp_flags (regs : Proc.regs) a b =
+  let diff = Int64.sub a b in
+  regs.Proc.zf <- Int64.equal a b;
+  regs.Proc.sf <- Int64.compare diff 0L < 0;
+  regs.Proc.cf <- Int64.unsigned_compare a b < 0;
+  (* signed overflow of a - b *)
+  let sa = Int64.compare a 0L < 0
+  and sb = Int64.compare b 0L < 0
+  and sd = Int64.compare diff 0L < 0 in
+  regs.Proc.of_ <- (sa <> sb) && sd <> sa
+
+let set_test_flags (regs : Proc.regs) a b =
+  let v = Int64.logand a b in
+  regs.Proc.zf <- Int64.equal v 0L;
+  regs.Proc.sf <- Int64.compare v 0L < 0;
+  regs.Proc.cf <- false;
+  regs.Proc.of_ <- false
+
+(** Execute exactly one instruction of [p]; assumes [p] runnable. *)
+let step t (p : Proc.t) =
+  let regs = p.Proc.regs in
+  let rip = regs.Proc.rip in
+  let mem = p.Proc.mem in
+  match
+    Decode.decode (fun i -> Mem.fetch8 mem (Int64.add rip (Int64.of_int i)))
+  with
+  | exception Mem.Fault (a, _) ->
+      ignore a;
+      deliver_signal t p ~signum:Abi.sigsegv ~at:rip
+  | exception Decode.Invalid_opcode _ ->
+      deliver_signal t p ~signum:Abi.sigill ~at:rip
+  | Insn.Int3, _ ->
+      (* breakpoint: saved rip = the int3 itself, so a verifier handler can
+         restore the original byte and simply sigreturn to retry (§3.2.3) *)
+      t.clock <- Int64.add t.clock 1L;
+      deliver_signal t p ~signum:Abi.sigtrap ~at:rip
+  | insn, len -> (
+      if p.Proc.block_start = None then p.Proc.block_start <- Some rip;
+      let next = Int64.add rip (Int64.of_int len) in
+      t.clock <- Int64.add t.clock 1L;
+      p.Proc.retired <- Int64.add p.Proc.retired 1L;
+      let g r = Proc.get regs r and s r v = Proc.set regs r v in
+      let goto target =
+        end_block t p ~next;
+        regs.Proc.rip <- target
+      in
+      let fallthrough () = regs.Proc.rip <- next in
+      try
+        match insn with
+        | Insn.Nop -> fallthrough ()
+        | Insn.Hlt -> (
+            end_block t p ~next;
+            p.Proc.state <- Proc.Killed Abi.sigill)
+        | Insn.Int3 -> assert false (* handled above *)
+        | Insn.Mov_rr (d, src) ->
+            s d (g src);
+            fallthrough ()
+        | Insn.Mov_ri (d, imm) ->
+            s d imm;
+            fallthrough ()
+        | Insn.Load (d, b, off) ->
+            s d (Mem.read64 mem (Int64.add (g b) (Int64.of_int off)));
+            fallthrough ()
+        | Insn.Store (b, off, src) ->
+            Mem.write64 mem (Int64.add (g b) (Int64.of_int off)) (g src);
+            fallthrough ()
+        | Insn.Load8 (d, b, off) ->
+            s d (Int64.of_int (Mem.read8 mem (Int64.add (g b) (Int64.of_int off))));
+            fallthrough ()
+        | Insn.Store8 (b, off, src) ->
+            Mem.write8 mem
+              (Int64.add (g b) (Int64.of_int off))
+              (Int64.to_int (Int64.logand (g src) 0xffL));
+            fallthrough ()
+        | Insn.Add_rr (d, src) ->
+            s d (Int64.add (g d) (g src));
+            fallthrough ()
+        | Insn.Add_ri (d, v) ->
+            s d (Int64.add (g d) (Int64.of_int v));
+            fallthrough ()
+        | Insn.Sub_rr (d, src) ->
+            s d (Int64.sub (g d) (g src));
+            fallthrough ()
+        | Insn.Sub_ri (d, v) ->
+            s d (Int64.sub (g d) (Int64.of_int v));
+            fallthrough ()
+        | Insn.Imul_rr (d, src) ->
+            s d (Int64.mul (g d) (g src));
+            fallthrough ()
+        | Insn.Idiv_rr (d, src) ->
+            if g src = 0L then (
+              end_block t p ~next;
+              deliver_signal t p ~signum:Abi.sigfpe ~at:rip)
+            else begin
+              s d (Int64.div (g d) (g src));
+              fallthrough ()
+            end
+        | Insn.Imod_rr (d, src) ->
+            if g src = 0L then (
+              end_block t p ~next;
+              deliver_signal t p ~signum:Abi.sigfpe ~at:rip)
+            else begin
+              s d (Int64.rem (g d) (g src));
+              fallthrough ()
+            end
+        | Insn.And_rr (d, src) ->
+            s d (Int64.logand (g d) (g src));
+            fallthrough ()
+        | Insn.Or_rr (d, src) ->
+            s d (Int64.logor (g d) (g src));
+            fallthrough ()
+        | Insn.Xor_rr (d, src) ->
+            s d (Int64.logxor (g d) (g src));
+            fallthrough ()
+        | Insn.Shl_ri (d, n) ->
+            s d (Int64.shift_left (g d) n);
+            fallthrough ()
+        | Insn.Shr_ri (d, n) ->
+            s d (Int64.shift_right_logical (g d) n);
+            fallthrough ()
+        | Insn.Sar_ri (d, n) ->
+            s d (Int64.shift_right (g d) n);
+            fallthrough ()
+        | Insn.Shl_rr (d, src) ->
+            s d (Int64.shift_left (g d) (Int64.to_int (g src) land 63));
+            fallthrough ()
+        | Insn.Shr_rr (d, src) ->
+            s d (Int64.shift_right_logical (g d) (Int64.to_int (g src) land 63));
+            fallthrough ()
+        | Insn.Neg d ->
+            s d (Int64.neg (g d));
+            fallthrough ()
+        | Insn.Not d ->
+            s d (Int64.lognot (g d));
+            fallthrough ()
+        | Insn.Cmp_rr (a, b) ->
+            set_cmp_flags regs (g a) (g b);
+            fallthrough ()
+        | Insn.Cmp_ri (a, v) ->
+            set_cmp_flags regs (g a) (Int64.of_int v);
+            fallthrough ()
+        | Insn.Test_rr (a, b) ->
+            set_test_flags regs (g a) (g b);
+            fallthrough ()
+        | Insn.Jmp rel -> goto (Int64.add next (Int64.of_int rel))
+        | Insn.Jcc (c, rel) ->
+            if cond_true regs c then goto (Int64.add next (Int64.of_int rel))
+            else begin
+              (* conditional not taken still ends the block (drcov-style) *)
+              end_block t p ~next;
+              fallthrough ()
+            end
+        | Insn.Call rel ->
+            let rsp = Int64.sub (g Reg.Rsp) 8L in
+            Mem.write64 mem rsp next;
+            s Reg.Rsp rsp;
+            goto (Int64.add next (Int64.of_int rel))
+        | Insn.Call_r r ->
+            let target = g r in
+            let rsp = Int64.sub (g Reg.Rsp) 8L in
+            Mem.write64 mem rsp next;
+            s Reg.Rsp rsp;
+            goto target
+        | Insn.Jmp_r r -> goto (g r)
+        | Insn.Ret ->
+            let rsp = g Reg.Rsp in
+            let target = Mem.read64 mem rsp in
+            s Reg.Rsp (Int64.add rsp 8L);
+            goto target
+        | Insn.Push r ->
+            let rsp = Int64.sub (g Reg.Rsp) 8L in
+            Mem.write64 mem rsp (g r);
+            s Reg.Rsp rsp;
+            fallthrough ()
+        | Insn.Pop r ->
+            let rsp = g Reg.Rsp in
+            s r (Mem.read64 mem rsp);
+            s Reg.Rsp (Int64.add rsp 8L);
+            fallthrough ()
+        | Insn.Lea (d, off) ->
+            s d (Int64.add next (Int64.of_int off));
+            fallthrough ()
+        | Insn.Syscall -> (
+            end_block t p ~next;
+            t.clock <- Int64.add t.clock (Int64.of_int t.syscall_cost);
+            match do_syscall t p with
+            | exception Seccomp_denied ->
+                deliver_signal t p ~signum:Abi.sigsys ~at:rip
+            | Ret v ->
+                s Reg.Rax v;
+                fallthrough ()
+            | Block_retry reason ->
+                (* rip stays at the syscall: it re-executes on wake *)
+                p.Proc.state <- Proc.Blocked reason
+            | Block_after reason ->
+                s Reg.Rax 0L;
+                fallthrough ();
+                p.Proc.state <- Proc.Blocked reason
+            | Terminate st ->
+                p.Proc.state <- st
+            | Sigret -> ())
+      with Mem.Fault (_, _) -> deliver_signal t p ~signum:Abi.sigsegv ~at:rip)
+
+(* ---------- scheduler ---------- *)
+
+let wake_check t (p : Proc.t) =
+  match p.Proc.state with
+  | Proc.Blocked (Proc.On_sleep wake) -> if t.clock >= wake then p.Proc.state <- Proc.Runnable
+  | Proc.Blocked (Proc.On_accept fd) -> (
+      match Hashtbl.find_opt p.Proc.fds fd with
+      | Some (Proc.Fd_listener port) -> (
+          match Net.find_listener t.net port with
+          | Some l when l.Net.backlog <> [] -> p.Proc.state <- Proc.Runnable
+          | _ -> ())
+      | _ -> p.Proc.state <- Proc.Runnable (* fd vanished: let syscall fail *))
+  | Proc.Blocked (Proc.On_recv fd) -> (
+      match Hashtbl.find_opt p.Proc.fds fd with
+      | Some (Proc.Fd_sock cid) -> (
+          match Net.find_conn t.net cid with
+          | Some c -> if Net.server_pending c > 0 || c.Net.client_closed then p.Proc.state <- Proc.Runnable
+          | None -> p.Proc.state <- Proc.Runnable)
+      | _ -> p.Proc.state <- Proc.Runnable)
+  | _ -> ()
+
+let runnable t =
+  List.filter
+    (fun p -> (not p.Proc.frozen) && p.Proc.state = Proc.Runnable)
+    (live_procs t)
+
+let quantum = 256
+
+(** Run the machine for at most [max_cycles] virtual cycles. Returns
+    [`Idle] when every live process is blocked on external input (the host
+    should inject work), [`Budget] when the cycle budget ran out, and
+    [`Dead] when no live processes remain. *)
+let run t ~max_cycles =
+  let deadline = Int64.add t.clock (Int64.of_int max_cycles) in
+  let rec loop () =
+    if t.clock >= deadline then `Budget
+    else begin
+      List.iter (wake_check t) (live_procs t);
+      match runnable t with
+      | [] ->
+          (* advance the clock to the earliest sleeper, if any *)
+          let sleepers =
+            List.filter_map
+              (fun p ->
+                match p.Proc.state with
+                | Proc.Blocked (Proc.On_sleep w) when not p.Proc.frozen -> Some w
+                | _ -> None)
+              (live_procs t)
+          in
+          if live_procs t = [] then `Dead
+          else (
+            match sleepers with
+            | [] -> `Idle
+            | ws ->
+                let earliest = List.fold_left min (List.hd ws) ws in
+                t.clock <- max t.clock (min earliest deadline);
+                if t.clock >= deadline then `Budget else loop ())
+      | rs ->
+          List.iter
+            (fun p ->
+              let budget = ref quantum in
+              while
+                !budget > 0 && p.Proc.state = Proc.Runnable && (not p.Proc.frozen)
+                && t.clock < deadline
+              do
+                step t p;
+                decr budget
+              done)
+            rs;
+          loop ()
+    end
+  in
+  loop ()
+
+(** Run until [pred] holds, all processes die, or the budget expires. *)
+let run_until t ~max_cycles ~pred =
+  let deadline = Int64.add t.clock (Int64.of_int max_cycles) in
+  let rec go () =
+    if pred () then `Pred
+    else if t.clock >= deadline then `Budget
+    else
+      match run t ~max_cycles:(min 10_000 (Int64.to_int (Int64.sub deadline t.clock))) with
+      | `Dead -> `Dead
+      | `Idle -> if pred () then `Pred else `Idle
+      | `Budget -> go ()
+  in
+  go ()
+
+(* ---------- checkpoint support ---------- *)
+
+let freeze t ~pid =
+  match proc t pid with Some p -> p.Proc.frozen <- true | None -> ()
+
+let thaw t ~pid =
+  match proc t pid with Some p -> p.Proc.frozen <- false | None -> ()
+
+(** Remove a process (after its image was dumped, before restore). *)
+let reap t ~pid = Hashtbl.remove t.procs pid
+
+(** Install a restored process object (CRIU restore). *)
+let install t (p : Proc.t) =
+  Hashtbl.replace t.procs p.Proc.pid p;
+  if not (List.mem p.Proc.pid t.spawn_order) then
+    t.spawn_order <- p.Proc.pid :: t.spawn_order;
+  t.next_pid <- max t.next_pid (p.Proc.pid + 1)

@@ -1,0 +1,77 @@
+(** The virtual machine: processes, CPU interpreter, signal delivery,
+    syscall dispatch, round-robin scheduler, deterministic virtual clock
+    (1 cycle per retired instruction). Plays the role of Linux + the CPU
+    and is part of the paper's trusted computing base (§2). *)
+
+type trace_hook = Proc.t -> int64 -> int -> unit
+(** (process, block start vaddr, block size) at every dynamic basic-block
+    completion — the tracer's input. *)
+
+type syscall_hook = Proc.t -> int -> unit
+(** (process, syscall number) before dispatch — backs automatic phase
+    detection (§5). *)
+
+type t = {
+  fs : Vfs.t;
+  net : Net.t;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  mutable clock : int64;  (** virtual cycles *)
+  mutable trace : trace_hook option;
+  mutable on_syscall : syscall_hook option;
+  rng : Rng.t;  (** feeds the guest [rand] syscall *)
+  syscall_cost : int;
+  mutable spawn_order : int list;
+}
+
+val create : ?seed:int -> unit -> t
+
+(** {2 Processes} *)
+
+val proc : t -> int -> Proc.t option
+val proc_exn : t -> int -> Proc.t
+val live_procs : t -> Proc.t list
+val all_procs : t -> Proc.t list
+
+exception Exec_error of string
+
+val spawn : t -> exe_path:string -> ?comm:string -> unit -> Proc.t
+(** Load a SELF binary from the machine fs (libraries resolved there
+    too), map it + a stack, and create a runnable process. *)
+
+(** {2 Signals} *)
+
+val deliver_signal : t -> Proc.t -> signum:int -> at:int64 -> unit
+(** Deliver with saved rip = [at]; builds the {!Abi} frame or applies the
+    default action (terminate). *)
+
+val post_signal : t -> pid:int -> signum:int -> unit
+
+exception Seccomp_denied
+(** Internal marker for a filtered syscall (delivered as SIGSYS). *)
+
+(** {2 Execution} *)
+
+val step : t -> Proc.t -> unit
+(** Execute exactly one instruction (assumes the process is runnable). *)
+
+val run : t -> max_cycles:int -> [ `Budget | `Dead | `Idle ]
+(** Round-robin scheduling until the budget runs out ([`Budget]), every
+    live process blocks on external input ([`Idle]), or none remain
+    ([`Dead]). Sleep-blocked processes fast-forward the clock. *)
+
+val run_until :
+  t -> max_cycles:int -> pred:(unit -> bool) -> [ `Budget | `Dead | `Idle | `Pred ]
+
+(** {2 Checkpoint support} *)
+
+val freeze : t -> pid:int -> unit
+(** Exclude from scheduling (CRIU freeze). *)
+
+val thaw : t -> pid:int -> unit
+
+val reap : t -> pid:int -> unit
+(** Remove a process object (after dumping, before restore). *)
+
+val install : t -> Proc.t -> unit
+(** Install a restored process (CRIU restore). *)

@@ -1,0 +1,286 @@
+(** Per-process virtual memory: a sparse page table plus a VMA list.
+
+    Pages carry their protection so the hot path (instruction fetch, loads,
+    stores) is a single hash lookup; VMAs carry the metadata CRIU's
+    [mm.img] records — start, end, permissions, backing file and offset —
+    exactly the fields DynaCut edits when it unmaps code pages or injects
+    a library (paper §3.3). *)
+
+type access = Read | Write | Exec
+
+let access_to_string = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+exception Fault of int64 * access
+(** Address + attempted access; the machine turns this into SIGSEGV. *)
+
+type vma = {
+  va_start : int64;
+  va_len : int;  (** bytes, page-multiple *)
+  va_prot : Self.prot;
+  va_file : (string * int) option;  (** backing file path + offset *)
+  va_name : string;  (** e.g. "ngx:.text", "[stack]", "[anon]" *)
+}
+
+let vma_end v = Int64.add v.va_start (Int64.of_int v.va_len)
+
+type page = { pg_data : bytes; mutable pg_prot : Self.prot }
+
+type t = {
+  pages : (int64, page) Hashtbl.t;  (** page index -> page *)
+  mutable vmas : vma list;  (** sorted by start *)
+}
+
+let page_size = 4096
+let page_size64 = 4096L
+let page_index (addr : int64) = Int64.div addr page_size64
+let page_base (addr : int64) = Int64.mul (page_index addr) page_size64
+let page_offset (addr : int64) = Int64.to_int (Int64.rem addr page_size64)
+
+let create () = { pages = Hashtbl.create 256; vmas = [] }
+
+let align_up n = (n + page_size - 1) / page_size * page_size
+
+let overlaps a_start a_len b_start b_len =
+  let a_end = Int64.add a_start (Int64.of_int a_len) in
+  let b_end = Int64.add b_start (Int64.of_int b_len) in
+  a_start < b_end && b_start < a_end
+
+let find_vma t addr =
+  List.find_opt (fun v -> addr >= v.va_start && addr < vma_end v) t.vmas
+
+(** Map [len] bytes at [vaddr] (both page-aligned after rounding) with
+    [prot]. Fails if the range overlaps an existing VMA. *)
+let map t ~vaddr ~len ~prot ?(file = None) ~name () =
+  if Int64.rem vaddr page_size64 <> 0L then
+    invalid_arg (Printf.sprintf "Mem.map: unaligned vaddr 0x%Lx" vaddr);
+  let len = align_up (max len 1) in
+  if List.exists (fun v -> overlaps v.va_start v.va_len vaddr len) t.vmas then
+    invalid_arg (Printf.sprintf "Mem.map: overlap at 0x%Lx+%d (%s)" vaddr len name);
+  let v = { va_start = vaddr; va_len = len; va_prot = prot; va_file = file; va_name = name } in
+  t.vmas <- List.sort (fun a b -> compare a.va_start b.va_start) (v :: t.vmas);
+  let npages = len / page_size in
+  for i = 0 to npages - 1 do
+    let idx = Int64.add (page_index vaddr) (Int64.of_int i) in
+    Hashtbl.replace t.pages idx { pg_data = Bytes.make page_size '\x00'; pg_prot = prot }
+  done;
+  v
+
+(** Unmap every page in [vaddr, vaddr+len); VMAs fully inside the range are
+    removed, partially covered VMAs are split. *)
+let unmap t ~vaddr ~len =
+  let len = align_up (max len 1) in
+  let range_end = Int64.add vaddr (Int64.of_int len) in
+  let keep, affected =
+    List.partition (fun v -> not (overlaps v.va_start v.va_len vaddr len)) t.vmas
+  in
+  let fragments =
+    List.concat_map
+      (fun v ->
+        let frags = ref [] in
+        (* fragment before the hole *)
+        if v.va_start < vaddr then
+          frags :=
+            { v with va_len = Int64.to_int (Int64.sub vaddr v.va_start) } :: !frags;
+        (* fragment after the hole *)
+        if vma_end v > range_end then
+          frags :=
+            {
+              v with
+              va_start = range_end;
+              va_len = Int64.to_int (Int64.sub (vma_end v) range_end);
+              va_file =
+                (match v.va_file with
+                | Some (f, off) ->
+                    Some (f, off + Int64.to_int (Int64.sub range_end v.va_start))
+                | None -> None);
+            }
+            :: !frags;
+        !frags)
+      affected
+  in
+  t.vmas <- List.sort (fun a b -> compare a.va_start b.va_start) (keep @ fragments);
+  let npages = len / page_size in
+  for i = 0 to npages - 1 do
+    Hashtbl.remove t.pages (Int64.add (page_index vaddr) (Int64.of_int i))
+  done
+
+let protect t ~vaddr ~len ~prot =
+  let len = align_up (max len 1) in
+  let range_end = Int64.add vaddr (Int64.of_int len) in
+  t.vmas <-
+    List.concat_map
+      (fun v ->
+        if not (overlaps v.va_start v.va_len vaddr len) then [ v ]
+        else begin
+          (* split into up to three pieces; middle gets the new prot *)
+          let pieces = ref [] in
+          if v.va_start < vaddr then
+            pieces := { v with va_len = Int64.to_int (Int64.sub vaddr v.va_start) } :: !pieces;
+          let mid_start = max v.va_start vaddr in
+          let mid_end = min (vma_end v) range_end in
+          pieces :=
+            {
+              v with
+              va_start = mid_start;
+              va_len = Int64.to_int (Int64.sub mid_end mid_start);
+              va_prot = prot;
+              va_file =
+                (match v.va_file with
+                | Some (f, off) ->
+                    Some (f, off + Int64.to_int (Int64.sub mid_start v.va_start))
+                | None -> None);
+            }
+            :: !pieces;
+          if vma_end v > range_end then
+            pieces :=
+              {
+                v with
+                va_start = range_end;
+                va_len = Int64.to_int (Int64.sub (vma_end v) range_end);
+                va_file =
+                  (match v.va_file with
+                  | Some (f, off) ->
+                      Some (f, off + Int64.to_int (Int64.sub range_end v.va_start))
+                  | None -> None);
+              }
+              :: !pieces;
+          List.sort (fun a b -> compare a.va_start b.va_start) !pieces
+        end)
+      t.vmas;
+  let npages = len / page_size in
+  for i = 0 to npages - 1 do
+    match Hashtbl.find_opt t.pages (Int64.add (page_index vaddr) (Int64.of_int i)) with
+    | Some p -> p.pg_prot <- prot
+    | None -> ()
+  done
+
+(* ---------- accesses ---------- *)
+
+let get_page t addr access =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> raise (Fault (addr, access))
+  | Some p ->
+      let ok =
+        match access with
+        | Read -> p.pg_prot.Self.p_r
+        | Write -> p.pg_prot.Self.p_w
+        | Exec -> p.pg_prot.Self.p_x
+      in
+      if not ok then raise (Fault (addr, access));
+      p
+
+let read8 t addr =
+  let p = get_page t addr Read in
+  Char.code (Bytes.get p.pg_data (page_offset addr))
+
+let fetch8 t addr =
+  let p = get_page t addr Exec in
+  Char.code (Bytes.get p.pg_data (page_offset addr))
+
+let write8 t addr v =
+  let p = get_page t addr Write in
+  Bytes.set p.pg_data (page_offset addr) (Char.chr (v land 0xff))
+
+(** Raw write ignoring protections — used only by the loader and by
+    checkpoint restore (kernel-side writes). *)
+let poke8 t addr v =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> raise (Fault (addr, Write))
+  | Some p -> Bytes.set p.pg_data (page_offset addr) (Char.chr (v land 0xff))
+
+let peek8 t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> raise (Fault (addr, Read))
+  | Some p -> Char.code (Bytes.get p.pg_data (page_offset addr))
+
+let read64 t addr =
+  (* fast path: within one page *)
+  if page_offset addr <= page_size - 8 then (
+    let p = get_page t addr Read in
+    Bytes.get_int64_le p.pg_data (page_offset addr))
+  else (
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (read8 t (Int64.add addr (Int64.of_int i))))
+    done;
+    !v)
+
+let write64 t addr (v : int64) =
+  if page_offset addr <= page_size - 8 then (
+    let p = get_page t addr Write in
+    Bytes.set_int64_le p.pg_data (page_offset addr) v)
+  else
+    for i = 0 to 7 do
+      write8 t (Int64.add addr (Int64.of_int i))
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+    done
+
+let read_bytes t addr len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (read8 t (Int64.add addr (Int64.of_int i))))
+  done;
+  b
+
+let write_bytes t addr (b : bytes) =
+  Bytes.iteri (fun i c -> write8 t (Int64.add addr (Int64.of_int i)) (Char.code c)) b
+
+let poke_bytes t addr (b : bytes) =
+  Bytes.iteri (fun i c -> poke8 t (Int64.add addr (Int64.of_int i)) (Char.code c)) b
+
+let peek_bytes t addr len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (peek8 t (Int64.add addr (Int64.of_int i))))
+  done;
+  b
+
+(** Read a NUL-terminated string (bounded at 1 MiB to catch runaways). *)
+let read_cstring t addr =
+  let b = Buffer.create 32 in
+  let rec go i =
+    if i > 1_048_576 then failwith "read_cstring: unterminated";
+    let c = read8 t (Int64.add addr (Int64.of_int i)) in
+    if c = 0 then Buffer.contents b
+    else begin
+      Buffer.add_char b (Char.chr c);
+      go (i + 1)
+    end
+  in
+  go 0
+
+(** Deep copy (fork, checkpoint). *)
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter
+    (fun k p -> Hashtbl.replace pages k { pg_data = Bytes.copy p.pg_data; pg_prot = p.pg_prot })
+    t.pages;
+  { pages; vmas = t.vmas }
+
+(** Populated pages of a VMA, as (vaddr, bytes) in address order. *)
+let pages_of_vma t (v : vma) =
+  let first = page_index v.va_start in
+  let n = v.va_len / page_size in
+  List.filter_map
+    (fun i ->
+      let idx = Int64.add first (Int64.of_int i) in
+      match Hashtbl.find_opt t.pages idx with
+      | Some p -> Some (Int64.mul idx page_size64, p.pg_data)
+      | None -> None)
+    (List.init n Fun.id)
+
+let total_mapped_bytes t = Hashtbl.length t.pages * page_size
+
+(** Find a free, page-aligned gap of [len] bytes at or after [hint]. *)
+let find_free t ~hint ~len =
+  let len = align_up (max len 1) in
+  let rec go addr =
+    if List.exists (fun v -> overlaps v.va_start v.va_len addr len) t.vmas then
+      let blocker =
+        List.find (fun v -> overlaps v.va_start v.va_len addr len) t.vmas
+      in
+      go (vma_end blocker)
+    else addr
+  in
+  go (page_base (Int64.add hint (Int64.of_int (page_size - 1))))

@@ -1,0 +1,87 @@
+(** Per-process virtual memory: sparse 4 KiB page table + VMA list.
+    Pages carry protections (the hot path is one hash lookup); VMAs carry
+    the metadata CRIU's [mm] image records and DynaCut edits. *)
+
+type access = Read | Write | Exec
+
+val access_to_string : access -> string
+
+exception Fault of int64 * access
+(** Bad or forbidden access; the machine turns this into SIGSEGV. *)
+
+type vma = {
+  va_start : int64;
+  va_len : int;  (** bytes, page multiple *)
+  va_prot : Self.prot;
+  va_file : (string * int) option;  (** backing file path + offset *)
+  va_name : string;  (** e.g. "ngx:.text", "[stack]", "[anon]" *)
+}
+
+val vma_end : vma -> int64
+
+type page = { pg_data : bytes; mutable pg_prot : Self.prot }
+
+type t = { pages : (int64, page) Hashtbl.t; mutable vmas : vma list }
+
+val page_size : int
+val page_size64 : int64
+val page_index : int64 -> int64
+val page_base : int64 -> int64
+val page_offset : int64 -> int
+val align_up : int -> int
+
+val create : unit -> t
+val find_vma : t -> int64 -> vma option
+
+val map :
+  t ->
+  vaddr:int64 ->
+  len:int ->
+  prot:Self.prot ->
+  ?file:(string * int) option ->
+  name:string ->
+  unit ->
+  vma
+(** Map a fresh region; raises [Invalid_argument] on overlap or
+    misalignment. All pages are populated (zeroed). *)
+
+val unmap : t -> vaddr:int64 -> len:int -> unit
+(** Drop pages; fully-covered VMAs are removed, partial ones split. *)
+
+val protect : t -> vaddr:int64 -> len:int -> prot:Self.prot -> unit
+(** mprotect: changes page protections, splitting VMAs as needed. *)
+
+(** {2 Checked accesses (raise {!Fault} on violation)} *)
+
+val read8 : t -> int64 -> int
+val fetch8 : t -> int64 -> int
+(** Instruction fetch: requires execute permission. *)
+
+val write8 : t -> int64 -> int -> unit
+val read64 : t -> int64 -> int64
+val write64 : t -> int64 -> int64 -> unit
+val read_bytes : t -> int64 -> int -> bytes
+val write_bytes : t -> int64 -> bytes -> unit
+
+val read_cstring : t -> int64 -> string
+(** NUL-terminated string (bounded at 1 MiB). *)
+
+(** {2 Kernel-side accesses (ignore protections, not presence)} *)
+
+val poke8 : t -> int64 -> int -> unit
+val peek8 : t -> int64 -> int
+val poke_bytes : t -> int64 -> bytes -> unit
+val peek_bytes : t -> int64 -> int -> bytes
+
+(** {2 Whole-space operations} *)
+
+val copy : t -> t
+(** Deep copy (fork, checkpoint). *)
+
+val pages_of_vma : t -> vma -> (int64 * bytes) list
+(** Populated pages of a VMA in address order. *)
+
+val total_mapped_bytes : t -> int
+
+val find_free : t -> hint:int64 -> len:int -> int64
+(** First page-aligned gap of [len] bytes at or after [hint]. *)

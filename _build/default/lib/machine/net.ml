@@ -1,0 +1,170 @@
+(** Machine-wide simulated TCP: listeners keyed by port, bidirectional
+    connections with byte queues.
+
+    Connections live in the machine's "kernel", not in the process — that
+    is what makes CRIU-style TCP repair possible: the checkpoint records
+    the connection ids and queue contents, and restore re-attaches the
+    process's fds to the still-existing kernel objects, so a client mid-
+    request survives a DynaCut rewrite (paper §3.3, Figure 8). *)
+
+type conn = {
+  conn_id : int;
+  conn_port : int;
+  c2s : Buffer.t;  (** client -> server bytes, pending *)
+  s2c : Buffer.t;
+  mutable c2s_consumed : int;  (** bytes already read by server *)
+  mutable s2c_consumed : int;
+  mutable client_closed : bool;
+  mutable server_closed : bool;
+}
+
+type listener = {
+  l_port : int;
+  mutable backlog : conn list;  (** pending, not yet accepted *)
+  mutable accepting : bool;
+}
+
+type t = {
+  mutable next_conn : int;
+  listeners : (int, listener) Hashtbl.t;  (** port -> listener *)
+  conns : (int, conn) Hashtbl.t;
+}
+
+let create () = { next_conn = 1; listeners = Hashtbl.create 8; conns = Hashtbl.create 32 }
+
+let listen t port =
+  match Hashtbl.find_opt t.listeners port with
+  | Some l -> l
+  | None ->
+      let l = { l_port = port; backlog = []; accepting = true } in
+      Hashtbl.replace t.listeners port l;
+      l
+
+let find_listener t port = Hashtbl.find_opt t.listeners port
+let find_conn t id = Hashtbl.find_opt t.conns id
+
+(* ---------- host (driver/client) side ---------- *)
+
+exception Refused of int
+
+(** Host connects to a guest listener; returns the connection. *)
+let connect t port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> raise (Refused port)
+  | Some l ->
+      let c =
+        {
+          conn_id = t.next_conn;
+          conn_port = port;
+          c2s = Buffer.create 64;
+          s2c = Buffer.create 64;
+          c2s_consumed = 0;
+          s2c_consumed = 0;
+          client_closed = false;
+          server_closed = false;
+        }
+      in
+      t.next_conn <- t.next_conn + 1;
+      Hashtbl.replace t.conns c.conn_id c;
+      l.backlog <- l.backlog @ [ c ];
+      c
+
+let client_send (c : conn) (s : string) = Buffer.add_string c.c2s s
+
+(** Drain whatever the server has written since the last call. *)
+let client_recv (c : conn) : string =
+  let all = Buffer.contents c.s2c in
+  let fresh = String.sub all c.s2c_consumed (String.length all - c.s2c_consumed) in
+  c.s2c_consumed <- String.length all;
+  fresh
+
+let client_pending (c : conn) = Buffer.length c.s2c - c.s2c_consumed
+let client_close (c : conn) = c.client_closed <- true
+
+(* ---------- guest (server) side ---------- *)
+
+let server_accept (l : listener) : conn option =
+  match l.backlog with
+  | [] -> None
+  | c :: rest ->
+      l.backlog <- rest;
+      Some c
+
+let server_pending (c : conn) = Buffer.length c.c2s - c.c2s_consumed
+
+let server_recv (c : conn) (maxlen : int) : string option =
+  let avail = server_pending c in
+  if avail = 0 then if c.client_closed then Some "" else None
+  else
+    let n = min avail maxlen in
+    let s = String.sub (Buffer.contents c.c2s) c.c2s_consumed n in
+    c.c2s_consumed <- c.c2s_consumed + n;
+    Some s
+
+let server_send (c : conn) (s : string) =
+  if c.server_closed then 0
+  else begin
+    Buffer.add_string c.s2c s;
+    String.length s
+  end
+
+let server_close (c : conn) = c.server_closed <- true
+
+(* ---------- checkpoint support (TCP repair) ---------- *)
+
+type conn_snapshot = {
+  cs_id : int;
+  cs_port : int;
+  cs_c2s : string;
+  cs_c2s_consumed : int;
+  cs_s2c : string;
+  cs_s2c_consumed : int;
+  cs_client_closed : bool;
+  cs_server_closed : bool;
+}
+
+let snapshot_conn (c : conn) =
+  {
+    cs_id = c.conn_id;
+    cs_port = c.conn_port;
+    cs_c2s = Buffer.contents c.c2s;
+    cs_c2s_consumed = c.c2s_consumed;
+    cs_s2c = Buffer.contents c.s2c;
+    cs_s2c_consumed = c.s2c_consumed;
+    cs_client_closed = c.client_closed;
+    cs_server_closed = c.server_closed;
+  }
+
+(** TCP repair: restore a connection's state into the kernel table. If the
+    connection object still exists (the common in-place-rewrite case) its
+    queues are reset to the snapshot; otherwise it is re-created. *)
+let repair_conn t (s : conn_snapshot) : conn =
+  let c =
+    match Hashtbl.find_opt t.conns s.cs_id with
+    | Some c -> c
+    | None ->
+        (* migration-style restore: rebuild the socket from the snapshot *)
+        let c =
+          {
+            conn_id = s.cs_id;
+            conn_port = s.cs_port;
+            c2s = Buffer.create 64;
+            s2c = Buffer.create 64;
+            c2s_consumed = s.cs_c2s_consumed;
+            s2c_consumed = s.cs_s2c_consumed;
+            client_closed = s.cs_client_closed;
+            server_closed = s.cs_server_closed;
+          }
+        in
+        Buffer.add_string c.c2s s.cs_c2s;
+        Buffer.add_string c.s2c s.cs_s2c;
+        Hashtbl.replace t.conns s.cs_id c;
+        t.next_conn <- max t.next_conn (s.cs_id + 1);
+        c
+  in
+  (* In-place rewrite: only the *server-side read position* is owned by the
+     checkpointed process; client-side state (new bytes sent while the
+     process was frozen) is kept in the live kernel object. *)
+  c.c2s_consumed <- min s.cs_c2s_consumed (Buffer.length c.c2s);
+  c.server_closed <- s.cs_server_closed;
+  c

@@ -1,0 +1,77 @@
+(** Machine-wide simulated TCP: listeners keyed by port, bidirectional
+    byte-queue connections. Connections live in the "kernel", which is
+    what makes CRIU-style TCP repair possible: a restored process
+    re-attaches to still-existing connection objects, so clients survive
+    a DynaCut rewrite (§3.3, Figure 8). *)
+
+type conn = {
+  conn_id : int;
+  conn_port : int;
+  c2s : Buffer.t;
+  s2c : Buffer.t;
+  mutable c2s_consumed : int;
+  mutable s2c_consumed : int;
+  mutable client_closed : bool;
+  mutable server_closed : bool;
+}
+
+type listener = {
+  l_port : int;
+  mutable backlog : conn list;
+  mutable accepting : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val listen : t -> int -> listener
+(** Register (or fetch) the listener on a port. *)
+
+val find_listener : t -> int -> listener option
+val find_conn : t -> int -> conn option
+
+(** {2 Host (driver/client) side} *)
+
+exception Refused of int
+
+val connect : t -> int -> conn
+(** Connect to a guest listener; raises {!Refused} if nothing listens. *)
+
+val client_send : conn -> string -> unit
+val client_recv : conn -> string
+(** Drain everything the server wrote since the last call. *)
+
+val client_pending : conn -> int
+val client_close : conn -> unit
+
+(** {2 Guest (server) side} *)
+
+val server_accept : listener -> conn option
+val server_pending : conn -> int
+
+val server_recv : conn -> int -> string option
+(** [None] = would block; [Some ""] = peer closed (EOF). *)
+
+val server_send : conn -> string -> int
+val server_close : conn -> unit
+
+(** {2 Checkpoint support (TCP repair)} *)
+
+type conn_snapshot = {
+  cs_id : int;
+  cs_port : int;
+  cs_c2s : string;
+  cs_c2s_consumed : int;
+  cs_s2c : string;
+  cs_s2c_consumed : int;
+  cs_client_closed : bool;
+  cs_server_closed : bool;
+}
+
+val snapshot_conn : conn -> conn_snapshot
+
+val repair_conn : t -> conn_snapshot -> conn
+(** Re-attach a snapshotted connection: in-place rewrites keep the live
+    kernel object (client bytes sent during the freeze are preserved);
+    migration-style restores rebuild it from the snapshot. *)

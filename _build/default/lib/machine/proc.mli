@@ -1,0 +1,79 @@
+(** A guest process: registers, memory, signal dispositions, file
+    descriptors, scheduler state. *)
+
+type regs = {
+  gpr : int64 array;  (** 16 GPRs, indexed by [Reg.to_int] *)
+  mutable rip : int64;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable of_ : bool;
+}
+
+val fresh_regs : unit -> regs
+val copy_regs : regs -> regs
+val get : regs -> Reg.t -> int64
+val set : regs -> Reg.t -> int64 -> unit
+
+val pack_flags : regs -> int
+(** Condition flags as the signal frame stores them (see {!Abi}). *)
+
+val unpack_flags : regs -> int -> unit
+
+type fd_kind =
+  | Fd_stdin
+  | Fd_stdout
+  | Fd_stderr
+  | Fd_file of { path : string; mutable pos : int }
+  | Fd_listener of int  (** bound port, -1 before bind *)
+  | Fd_sock of int  (** kernel connection id *)
+
+type block_reason =
+  | On_accept of int
+  | On_recv of int
+  | On_sleep of int64  (** absolute wake cycle *)
+
+type state =
+  | Runnable
+  | Blocked of block_reason
+  | Exited of int
+  | Killed of int  (** terminating signal *)
+
+type sigaction = { sa_handler : int64; sa_restorer : int64 }
+
+type t = {
+  pid : int;
+  parent : int;
+  comm : string;
+  exe_path : string;
+  mem : Mem.t;
+  regs : regs;
+  mutable state : state;
+  mutable frozen : bool;
+  sigactions : sigaction option array;
+  fds : (int, fd_kind) Hashtbl.t;
+  mutable next_fd : int;
+  mutable mmap_hint : int64;
+  stdout : Buffer.t;
+  mutable stdout_drained : int;
+  mutable retired : int64;  (** instructions executed *)
+  mutable block_start : int64 option;  (** open basic block, for tracing *)
+  mutable seccomp : int list option;
+      (** seccomp-style denylist of syscall numbers; [None] = no filter *)
+}
+
+val stack_top : int64
+val stack_size : int
+val mmap_base : int64
+
+val is_live : t -> bool
+val create : pid:int -> parent:int -> comm:string -> exe_path:string -> mem:Mem.t -> t
+val alloc_fd : t -> fd_kind -> int
+
+val drain_stdout : t -> string
+(** Console output since the last drain — how the operator watches for
+    the init-done log line (§3.1). *)
+
+val peek_stdout : t -> string
+val fork_copy : t -> pid:int -> t
+val state_to_string : state -> string

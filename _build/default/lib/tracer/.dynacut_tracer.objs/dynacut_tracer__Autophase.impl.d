@@ -1,0 +1,1 @@
+lib/tracer/autophase.ml: Abi Collector Drcov List Machine Proc

@@ -1,0 +1,1 @@
+lib/tracer/autophase.mli: Collector Drcov Machine Proc

@@ -1,0 +1,1 @@
+lib/tracer/collector.ml: Drcov Hashtbl Int64 List Machine Mem Proc String

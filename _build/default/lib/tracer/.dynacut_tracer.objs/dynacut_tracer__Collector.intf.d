@@ -1,0 +1,1 @@
+lib/tracer/collector.mli: Drcov Machine Proc

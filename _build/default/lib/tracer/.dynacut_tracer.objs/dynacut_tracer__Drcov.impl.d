@@ -1,0 +1,1 @@
+lib/tracer/drcov.ml: Buffer Int64 List Printf String

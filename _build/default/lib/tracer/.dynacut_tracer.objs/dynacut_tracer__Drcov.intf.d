@@ -1,0 +1,1 @@
+lib/tracer/drcov.mli:

@@ -1,0 +1,135 @@
+(** The code-coverage collector — our DynamoRIO+drcov stand-in.
+
+    Attaches to a machine's basic-block hook and records deduplicated
+    (module, offset, size) blocks per traced process tree. Supports the
+    paper's two extensions (§3.1, §3.3):
+
+    - {b nudges}: [nudge] dumps the coverage collected so far (the
+      initialization-phase coverage) and clears the code cache, so the
+      remainder of the run yields the serving-phase coverage;
+    - {b multi-process}: children of traced processes are traced
+      automatically, and blocks merge into one coverage map per tree. *)
+
+type t = {
+  machine : Machine.t;
+  roots : (int, unit) Hashtbl.t;  (** traced pids (incl. discovered children) *)
+  mutable module_map : (string * int64 * int64) list;  (** name, base, end *)
+  seen : (int * int * int, int) Hashtbl.t;  (** (mod, off, size) -> seq *)
+  mutable seq : int;
+  mutable dumps : Drcov.log list;  (** nudge outputs, oldest first *)
+  prev_hook : Machine.trace_hook option;
+}
+
+let module_of_vma_name name =
+  match String.index_opt name ':' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(** Derive the module list of a process from its VMA names: the module
+    spans from its lowest to highest section VMA. *)
+let modules_of_proc (p : Proc.t) : (string * int64 * int64) list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Mem.vma) ->
+      let m = module_of_vma_name v.Mem.va_name in
+      if m <> "[stack]" && m <> "[anon]" then begin
+        let lo, hi =
+          match Hashtbl.find_opt tbl m with
+          | Some (lo, hi) -> (min lo v.Mem.va_start, max hi (Mem.vma_end v))
+          | None -> (v.Mem.va_start, Mem.vma_end v)
+        in
+        Hashtbl.replace tbl m (lo, hi)
+      end)
+    p.Proc.mem.Mem.vmas;
+  Hashtbl.fold (fun name (lo, hi) acc -> (name, lo, hi) :: acc) tbl []
+  |> List.sort compare
+
+let locate t (addr : int64) =
+  let rec go i = function
+    | [] -> None
+    | (_, base, end_) :: _ when addr >= base && addr < end_ ->
+        Some (i, Int64.to_int (Int64.sub addr base))
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.module_map
+
+let on_block t (p : Proc.t) (start : int64) (size : int) =
+  let traced =
+    Hashtbl.mem t.roots p.Proc.pid
+    ||
+    (* follow forks: trace children of traced processes *)
+    if Hashtbl.mem t.roots p.Proc.parent then begin
+      Hashtbl.replace t.roots p.Proc.pid ();
+      (* the child may share module layout; merge any new modules *)
+      List.iter
+        (fun (n, lo, hi) ->
+          if not (List.exists (fun (n', _, _) -> n' = n) t.module_map) then
+            t.module_map <- t.module_map @ [ (n, lo, hi) ])
+        (modules_of_proc p);
+      true
+    end
+    else false
+  in
+  if traced then
+    match locate t start with
+    | None -> () (* anonymous memory (JIT/stack) — drcov skips those too *)
+    | Some (mid, off) ->
+        let key = (mid, off, size) in
+        if not (Hashtbl.mem t.seen key) then begin
+          Hashtbl.replace t.seen key t.seq;
+          t.seq <- t.seq + 1
+        end
+
+(** Start tracing [pid] (and its future children) on [machine]. *)
+let attach (machine : Machine.t) ~pid : t =
+  let p = Machine.proc_exn machine pid in
+  let t =
+    {
+      machine;
+      roots = Hashtbl.create 4;
+      module_map = modules_of_proc p;
+      seen = Hashtbl.create 1024;
+      seq = 0;
+      dumps = [];
+      prev_hook = machine.Machine.trace;
+    }
+  in
+  Hashtbl.replace t.roots pid ();
+  machine.Machine.trace <-
+    Some
+      (fun p start size ->
+        (match t.prev_hook with Some h -> h p start size | None -> ());
+        on_block t p start size);
+  t
+
+let current_log t : Drcov.log =
+  let modules =
+    List.mapi
+      (fun i (name, base, end_) ->
+        { Drcov.mi_id = i; mi_name = name; mi_base = base; mi_end = end_ })
+      t.module_map
+  in
+  let bbs =
+    Hashtbl.fold
+      (fun (m, off, size) seq acc ->
+        { Drcov.bb_mod = m; bb_off = off; bb_size = size; bb_seq = seq } :: acc)
+      t.seen []
+    |> List.sort (fun a b -> compare a.Drcov.bb_seq b.Drcov.bb_seq)
+  in
+  { Drcov.modules; bbs }
+
+(** The nudge (§3.1): dump the coverage collected so far and clear the
+    code cache. The dumped log is the coverage of the phase that just
+    ended (e.g. initialization). *)
+let nudge t : Drcov.log =
+  let log = current_log t in
+  t.dumps <- t.dumps @ [ log ];
+  Hashtbl.reset t.seen;
+  log
+
+(** Stop tracing; returns the final (post-last-nudge) coverage. *)
+let detach t : Drcov.log =
+  t.machine.Machine.trace <- t.prev_hook;
+  current_log t
+
+let dumps t = t.dumps

@@ -1,0 +1,30 @@
+(** drcov-format execution trace logs: a module table plus executed basic
+    blocks as (module id, offset, size) — the paper's
+    "tuples of <BB addr, BB size>" (§3.1). *)
+
+type module_info = {
+  mi_id : int;
+  mi_name : string;
+  mi_base : int64;
+  mi_end : int64;
+}
+
+type bb = {
+  bb_mod : int;
+  bb_off : int;
+  bb_size : int;
+  bb_seq : int;  (** first-execution order *)
+}
+
+type log = { modules : module_info list; bbs : bb list }
+
+val module_of_bb : log -> bb -> module_info option
+val bb_count : log -> int
+val covered_bytes : log -> int
+
+val to_string : log -> string
+
+exception Parse_error of string
+
+val of_string : string -> log
+(** Inverse of {!to_string}; raises {!Parse_error} on malformed input. *)

@@ -1,0 +1,1 @@
+lib/util/sexpr.ml: Buffer Format Int64 List Printf String

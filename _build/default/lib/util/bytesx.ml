@@ -1,0 +1,98 @@
+(** Little-endian byte-buffer writer and cursor reader.
+
+    All multi-byte integers in the SELF object format and in the CRIU image
+    format are little-endian, matching the x86-64 convention the paper's
+    artifact targets. *)
+
+exception Truncated of string
+(** Raised by the reader when the input ends before a field is complete. *)
+
+module W = struct
+  type t = Buffer.t
+
+  let create ?(size = 256) () : t = Buffer.create size
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u16 b v =
+    u8 b (v land 0xff);
+    u8 b ((v lsr 8) land 0xff)
+
+  let u32 b v =
+    u16 b (v land 0xffff);
+    u16 b ((v lsr 16) land 0xffff)
+
+  let u64 b (v : int64) =
+    u32 b (Int64.to_int (Int64.logand v 0xffffffffL));
+    u32 b (Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xffffffffL))
+
+  let int_as_u64 b v = u64 b (Int64.of_int v)
+  let bytes b (s : bytes) = Buffer.add_bytes b s
+  let string b s = Buffer.add_string b s
+
+  (* Length-prefixed string: u32 length + raw bytes. *)
+  let lstring b s =
+    u32 b (String.length s);
+    string b s
+
+  let lbytes b s =
+    u32 b (Bytes.length s);
+    bytes b s
+
+  let contents (b : t) = Buffer.contents b
+  let to_bytes (b : t) = Buffer.to_bytes b
+  let length (b : t) = Buffer.length b
+end
+
+module R = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let of_bytes data = { data = Bytes.to_string data; pos = 0 }
+  let remaining r = String.length r.data - r.pos
+  let pos r = r.pos
+  let eof r = r.pos >= String.length r.data
+
+  let check r n what =
+    if remaining r < n then
+      raise (Truncated (Printf.sprintf "%s: need %d bytes, have %d" what n (remaining r)))
+
+  let u8 r =
+    check r 1 "u8";
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let lo = u8 r in
+    let hi = u8 r in
+    lo lor (hi lsl 8)
+
+  let u32 r =
+    let lo = u16 r in
+    let hi = u16 r in
+    lo lor (hi lsl 16)
+
+  let u64 r =
+    let lo = Int64.of_int (u32 r) in
+    let hi = Int64.of_int (u32 r) in
+    Int64.logor lo (Int64.shift_left hi 32)
+
+  let int_of_u64 r = Int64.to_int (u64 r)
+
+  let take r n =
+    check r n "take";
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let lstring r =
+    let n = u32 r in
+    take r n
+
+  let lbytes r = Bytes.of_string (lstring r)
+end
+
+let hex_of_string (s : string) =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b

@@ -1,0 +1,33 @@
+(** Deterministic splitmix64 PRNG.
+
+    The machine and every workload draw randomness only from here, so each
+    experiment is bit-for-bit reproducible run-to-run (DESIGN.md §5). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_i64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_i64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next_i64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits into [0, 1) *)
+  let v = Int64.to_float (Int64.shift_right_logical (next_i64 t) 11) in
+  v /. 9007199254740992.0
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))

@@ -1,0 +1,176 @@
+(** A minimal s-expression type with printer and parser.
+
+    CRIT (the CRIU image tool, Section 3.3 of the paper) decodes binary
+    protobuf images into a human-readable text form and encodes edited text
+    back. Our CRIT equivalent uses this s-expression syntax as its text
+    form; [parse (print x) = x] is property-tested. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+let atom s = Atom s
+let list l = List l
+let int i = Atom (string_of_int i)
+let i64 (i : int64) = Atom (Int64.to_string i)
+let hex64 (i : int64) = Atom (Printf.sprintf "0x%Lx" i)
+
+let field name v = List [ Atom name; v ]
+(** [(name value)] — the record-field idiom used throughout CRIT output. *)
+
+exception Parse_error of string
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t')
+       s
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec pp fmt = function
+  | Atom s -> Format.pp_print_string fmt (if needs_quoting s then quote s else s)
+  | List l ->
+      Format.fprintf fmt "(@[<hov 1>%a@])"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        l
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* --- parser --- *)
+
+type lexer = { src : string; mutable p : int }
+
+let peek lx = if lx.p < String.length lx.src then Some lx.src.[lx.p] else None
+
+let advance lx = lx.p <- lx.p + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\n' | '\t' | '\r') ->
+      advance lx;
+      skip_ws lx
+  | Some ';' ->
+      (* comment until end of line *)
+      while peek lx <> None && peek lx <> Some '\n' do
+        advance lx
+      done;
+      skip_ws lx
+  | _ -> ()
+
+let parse_quoted lx =
+  advance lx;
+  (* opening quote *)
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> raise (Parse_error "unterminated string")
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+        advance lx;
+        match peek lx with
+        | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance lx;
+            go ()
+        | Some 't' ->
+            Buffer.add_char b '\t';
+            advance lx;
+            go ()
+        | Some c ->
+            Buffer.add_char b c;
+            advance lx;
+            go ()
+        | None -> raise (Parse_error "dangling escape"))
+    | Some c ->
+        Buffer.add_char b c;
+        advance lx;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_atom lx =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | Some (' ' | '\n' | '\t' | '\r' | '(' | ')') | None -> ()
+    | Some c ->
+        Buffer.add_char b c;
+        advance lx;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let rec parse_one lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> raise (Parse_error "unexpected end of input")
+  | Some '(' ->
+      advance lx;
+      let items = ref [] in
+      let rec go () =
+        skip_ws lx;
+        match peek lx with
+        | Some ')' -> advance lx
+        | None -> raise (Parse_error "unterminated list")
+        | Some _ ->
+            items := parse_one lx :: !items;
+            go ()
+      in
+      go ();
+      List (List.rev !items)
+  | Some '"' -> Atom (parse_quoted lx)
+  | Some ')' -> raise (Parse_error "unexpected )")
+  | Some _ -> Atom (parse_atom lx)
+
+let of_string s =
+  let lx = { src = s; p = 0 } in
+  let v = parse_one lx in
+  skip_ws lx;
+  if peek lx <> None then raise (Parse_error "trailing garbage");
+  v
+
+(* --- accessors used by the CRIT codec --- *)
+
+let get_field name = function
+  | List items ->
+      List.find_map
+        (function
+          | List [ Atom n; v ] when n = name -> Some v
+          | List (Atom n :: vs) when n = name -> Some (List vs)
+          | _ -> None)
+        items
+  | Atom _ -> None
+
+let as_int = function
+  | Atom s -> (
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> raise (Parse_error ("not an int: " ^ s)))
+  | List _ -> raise (Parse_error "expected atom, got list")
+
+let as_i64 = function
+  | Atom s -> (
+      match Int64.of_string_opt s with
+      | Some i -> i
+      | None -> raise (Parse_error ("not an int64: " ^ s)))
+  | List _ -> raise (Parse_error "expected atom, got list")
+
+let as_atom = function
+  | Atom s -> s
+  | List _ -> raise (Parse_error "expected atom, got list")

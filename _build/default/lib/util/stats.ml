@@ -1,0 +1,38 @@
+(** Mean / standard deviation / percentile helpers for the bench harness. *)
+
+let mean xs =
+  match xs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.
+  | sorted ->
+      let n = List.length sorted in
+      let idx = int_of_float (p /. 100. *. float_of_int (n - 1)) in
+      List.nth sorted (min (n - 1) (max 0 idx))
+
+(** Time a thunk with [Unix]-free monotonic-ish clock ([Sys.time] measures
+    processor time, which is what the rewrite-cost figures need). *)
+let time_it f =
+  let t0 = Sys.time () in
+  let r = f () in
+  let t1 = Sys.time () in
+  (r, t1 -. t0)
+
+let time_n n f =
+  List.init n (fun _ ->
+      let _, dt = time_it f in
+      dt)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Abi Alcotest Checkpoint Images List Machine Printf Proc Spec String Workload

@@ -1,0 +1,1 @@
+test/test_apps_cold.ml: Abi Alcotest Common Dynacut List Machine Proc String Vfs Workload

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Abi Alcotest Bytes Char Chisel Common Covgraph List Machine Net Option Proc Razor Rkv Self String Test_machine Vfs Workload

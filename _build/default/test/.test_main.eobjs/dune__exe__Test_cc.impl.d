@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Ast Compile Crt0 Dsl Hashtbl Int64 Machine Mem Option Proc QCheck QCheck_alcotest Self Test_machine Vfs

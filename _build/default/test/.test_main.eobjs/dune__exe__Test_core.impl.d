@@ -1,0 +1,1 @@
+test/test_core.ml: Abi Alcotest Cfg Collector Covgraph Crt0 Drcov Dsl Dynacut Handler Int64 List Machine Mem Net Option Printf Proc Self Test_machine Tracediff Vfs

@@ -1,0 +1,1 @@
+test/test_criu.ml: Alcotest Array Bytes Bytesx Checkpoint Crit Crt0 Dsl Images Int64 List Machine Mem Net Option Printf Proc Restore Self String Test_machine Vfs

@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Asm Bytes Cfg Crt0 Insn Int64 Link List Loader Machine Option Printf QCheck QCheck_alcotest Reg Self Spec String Test_core Test_machine Vfs Workload

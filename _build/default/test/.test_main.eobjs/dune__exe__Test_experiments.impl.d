@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Common Covgraph Fig2 Fig4 Fig8 Format List Printf Spec String Timeline Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Abi Alcotest Array Autophase Common Covgraph Crt0 Drcov Dynacut Funcbounds List Machine Net Option Printf Proc Self Spec String Test_core Test_machine Tracediff Vfs Workload

@@ -1,0 +1,1 @@
+test/test_guestlib.ml: Alcotest Bytes Checkpoint Handler Images Inject Int64 List Loader Machine Option Rewriter Self Test_machine Workload

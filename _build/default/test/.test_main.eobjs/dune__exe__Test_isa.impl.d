@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Bytes Char Decode Encode Insn Int64 Link List QCheck QCheck_alcotest Reg Self

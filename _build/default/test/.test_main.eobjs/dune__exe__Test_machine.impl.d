@@ -1,0 +1,1 @@
+test/test_machine.ml: Abi Alcotest Asm Ast Compile Crt0 Dsl Insn Int64 Libc Link List Machine Mem Net Proc QCheck QCheck_alcotest Reg Self Vfs

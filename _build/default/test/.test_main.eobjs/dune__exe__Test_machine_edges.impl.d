@@ -1,0 +1,1 @@
+test/test_machine_edges.ml: Abi Alcotest Asm Compile Crt0 Dsl Insn Int64 Link List Machine Mem Net Option Proc Reg Self Test_machine Vfs

@@ -1,0 +1,1 @@
+test/test_seccomp.ml: Abi Alcotest Checkpoint Common Crit Crt0 Dsl Dynacut Images List Machine Proc Reg Restore Sexpr Test_machine Vfs Workload

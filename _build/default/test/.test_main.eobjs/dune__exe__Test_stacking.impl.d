@@ -1,0 +1,1 @@
+test/test_stacking.ml: Alcotest Common Dynacut List Machine Printf Proc String Workload

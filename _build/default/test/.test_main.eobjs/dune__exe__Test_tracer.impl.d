@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Ast Collector Covgraph Crt0 Drcov Dsl Int64 List Machine Net Option Printf Proc QCheck QCheck_alcotest Self Test_core Test_machine Vfs

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytesx Int64 List Option QCheck QCheck_alcotest Rng Sexpr Stats String Table

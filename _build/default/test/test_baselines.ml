@@ -1,0 +1,125 @@
+(** Tests for the RAZOR- and Chisel-like static debloaters, including the
+    behavioural contrast with DynaCut that motivates the paper: a static
+    cut cannot give a removed feature back. *)
+
+let libc = Test_machine.libc
+
+let coverage_of (requests : string list) : Covgraph.t =
+  let cfg_of = Common.cfg_of_app Workload.rkv in
+  let init, serving =
+    Workload.trace_requests ~app:Workload.rkv ~requests ~nudge_at_ready:true ()
+  in
+  Covgraph.normalize ~cfg_of
+    (Covgraph.of_logs (Option.to_list init @ [ serving ]))
+
+let rkv_exe () = Common.app_exe Workload.rkv
+
+let test_razor_keeps_covered () =
+  let exe = rkv_exe () in
+  let cov = coverage_of Workload.kv_wanted in
+  let debloated, stats = Razor.debloat ~level:Razor.L0 exe ~coverage:cov in
+  Alcotest.(check bool) "removed some" true (stats.Razor.s_removed > 0);
+  Alcotest.(check bool) "kept some" true (stats.Razor.s_kept > 0);
+  (* every covered block's first byte is NOT an int3 in the output *)
+  let text = Option.get (Self.find_section debloated ".text") in
+  List.iter
+    (fun (b : Covgraph.block) ->
+      if b.Covgraph.b_module = "rkv" && b.Covgraph.b_off >= text.Self.sec_off
+         && b.Covgraph.b_off < text.Self.sec_off + Bytes.length text.Self.sec_data
+      then
+        let byte = Char.code (Bytes.get text.Self.sec_data (b.Covgraph.b_off - text.Self.sec_off)) in
+        if byte = 0xCC then Alcotest.failf "covered block 0x%x was removed" b.Covgraph.b_off)
+    (Covgraph.blocks cov)
+
+let test_razor_levels_monotone () =
+  let exe = rkv_exe () in
+  let cov = coverage_of Workload.kv_wanted in
+  let kept level =
+    let _, s = Razor.debloat ~level exe ~coverage:cov in
+    s.Razor.s_kept
+  in
+  let k0 = kept Razor.L0 and k1 = kept Razor.L1 and k2 = kept Razor.L2 in
+  Alcotest.(check bool) "L0 <= L1 <= L2" true (k0 <= k1 && k1 <= k2)
+
+let test_chisel_more_aggressive_than_razor () =
+  let exe = rkv_exe () in
+  let cov = coverage_of Workload.kv_wanted in
+  let _, rz = Razor.debloat ~level:Razor.L1 exe ~coverage:cov in
+  let ch = Chisel.debloat exe ~coverage:cov ~oracle:Chisel.no_oracle in
+  Alcotest.(check bool) "chisel keeps fewer blocks" true
+    (ch.Chisel.c_stats.Razor.s_kept <= rz.Razor.s_kept)
+
+let run_debloated (debloated : Self.t) (requests : string list) =
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "rkv" debloated;
+  Vfs.add m.Machine.fs "/etc/rkv.conf" Rkv.config;
+  Vfs.add m.Machine.fs "/data/dump.rdb" Rkv.rdb;
+  let p = Machine.spawn m ~exe_path:"rkv" () in
+  let (_ : _) = Machine.run m ~max_cycles:10_000_000 in
+  let replies =
+    List.map
+      (fun r ->
+        if not (Proc.is_live p) then "<dead>"
+        else begin
+          let c = Net.connect m.Machine.net Rkv.port in
+          Net.client_send c r;
+          let (_ : _) = Machine.run m ~max_cycles:3_000_000 in
+          Net.client_recv c
+        end)
+      requests
+  in
+  (replies, p.Proc.state)
+
+let test_debloated_binary_serves_trained_workload () =
+  let exe = rkv_exe () in
+  (* train on the full boot + wanted mix *)
+  let cov = coverage_of Workload.kv_wanted in
+  let debloated, _ = Razor.debloat ~level:Razor.L1 exe ~coverage:cov in
+  let replies, st = run_debloated debloated [ "PING\n"; "GET greeting\n" ] in
+  Alcotest.(check (list string)) "served" [ "+PONG"; "$hello" ] replies;
+  Alcotest.(check bool) "alive" true (match st with Proc.Runnable | Proc.Blocked _ -> true | _ -> false)
+
+let test_static_cut_kills_untrained_feature_forever () =
+  (* the motivating contrast: RAZOR trained without SET terminates the
+     process when SET arrives, and there is no way back *)
+  let exe = rkv_exe () in
+  let cov = coverage_of Workload.kv_wanted (* no SET anywhere *) in
+  let debloated, _ = Razor.debloat ~level:Razor.L0 exe ~coverage:cov in
+  let replies, st = run_debloated debloated [ "GET greeting\n"; "SET a 1\n"; "PING\n" ] in
+  (match replies with
+  | [ "$hello"; _; last ] ->
+      Alcotest.(check string) "dead after SET" "<dead>" last
+  | _ -> Alcotest.failf "unexpected replies: %s" (String.concat "|" replies));
+  match st with
+  | Proc.Killed s -> Alcotest.(check int) "SIGTRAP" Abi.sigtrap s
+  | st -> Alcotest.failf "expected kill, got %s" (Proc.state_to_string st)
+
+let test_chisel_oracle_repair () =
+  let exe = rkv_exe () in
+  let cov = coverage_of [ "PING\n" ] in
+  (* an oracle that insists the GET path must stay *)
+  let get_cov = coverage_of [ "GET greeting\n" ] in
+  let missing = ref (Covgraph.diff get_cov cov) in
+  let oracle (_ : Self.t) =
+    match !missing with
+    | [] -> Ok ()
+    | blocks ->
+        missing := [];
+        Error blocks
+  in
+  let r = Chisel.debloat exe ~coverage:cov ~oracle in
+  Alcotest.(check int) "one repair round" 1 r.Chisel.c_iterations;
+  let replies, _ = run_debloated r.Chisel.c_binary [ "GET greeting\n" ] in
+  Alcotest.(check (list string)) "repaired GET works" [ "$hello" ] replies
+
+let suite =
+  [
+    Alcotest.test_case "razor keeps covered blocks" `Quick test_razor_keeps_covered;
+    Alcotest.test_case "razor zL levels monotone" `Quick test_razor_levels_monotone;
+    Alcotest.test_case "chisel more aggressive" `Quick test_chisel_more_aggressive_than_razor;
+    Alcotest.test_case "debloated binary serves" `Quick test_debloated_binary_serves_trained_workload;
+    Alcotest.test_case "static cut is forever (vs DynaCut)" `Quick
+      test_static_cut_kills_untrained_feature_forever;
+    Alcotest.test_case "chisel oracle repair loop" `Quick test_chisel_oracle_repair;
+  ]

@@ -1,0 +1,329 @@
+(** MiniC compiler tests, including differential property testing: random
+    expression/statement programs are compiled to vx86, executed on the
+    machine, and checked against a reference OCaml evaluator. *)
+
+open Dsl
+
+let libc = Test_machine.libc
+
+(* ---------- reference evaluator ---------- *)
+
+exception Unsupported
+
+let rec eval_expr (env : (string, int64) Hashtbl.t) (e : Ast.expr) : int64 =
+  match e with
+  | Ast.Int v -> v
+  | Ast.Var n -> (
+      match Hashtbl.find_opt env n with Some v -> v | None -> raise Unsupported)
+  | Ast.Unop (Ast.Neg, a) -> Int64.neg (eval_expr env a)
+  | Ast.Unop (Ast.Bitnot, a) -> Int64.lognot (eval_expr env a)
+  | Ast.Unop (Ast.Lognot, a) -> if eval_expr env a = 0L then 1L else 0L
+  | Ast.Binop (op, a, b) -> (
+      let x = eval_expr env a in
+      match op with
+      | Ast.Land -> if x = 0L then 0L else if eval_expr env b <> 0L then 1L else 0L
+      | Ast.Lor -> if x <> 0L then 1L else if eval_expr env b <> 0L then 1L else 0L
+      | _ -> (
+          let y = eval_expr env b in
+          let bool_ c = if c then 1L else 0L in
+          match op with
+          | Ast.Add -> Int64.add x y
+          | Ast.Sub -> Int64.sub x y
+          | Ast.Mul -> Int64.mul x y
+          | Ast.Div -> if y = 0L then raise Unsupported else Int64.div x y
+          | Ast.Mod -> if y = 0L then raise Unsupported else Int64.rem x y
+          | Ast.Band -> Int64.logand x y
+          | Ast.Bor -> Int64.logor x y
+          | Ast.Bxor -> Int64.logxor x y
+          | Ast.Shl -> Int64.shift_left x (Int64.to_int y land 63)
+          | Ast.Shr -> Int64.shift_right_logical x (Int64.to_int y land 63)
+          | Ast.Lt -> bool_ (Int64.compare x y < 0)
+          | Ast.Le -> bool_ (Int64.compare x y <= 0)
+          | Ast.Gt -> bool_ (Int64.compare x y > 0)
+          | Ast.Ge -> bool_ (Int64.compare x y >= 0)
+          | Ast.Ult -> bool_ (Int64.unsigned_compare x y < 0)
+          | Ast.Ugt -> bool_ (Int64.unsigned_compare x y > 0)
+          | Ast.Eq -> bool_ (Int64.equal x y)
+          | Ast.Ne -> bool_ (not (Int64.equal x y))
+          | Ast.Land | Ast.Lor -> assert false))
+  | _ -> raise Unsupported
+
+let rec eval_stmts env (stmts : Ast.stmt list) : int64 option =
+  match stmts with
+  | [] -> None
+  | s :: rest -> (
+      match s with
+      | Ast.Decl (n, e) | Ast.Assign (n, e) ->
+          Hashtbl.replace env n (eval_expr env e);
+          eval_stmts env rest
+      | Ast.If (c, t, f) -> (
+          match eval_stmts env (if eval_expr env c <> 0L then t else f) with
+          | Some r -> Some r
+          | None -> eval_stmts env rest)
+      | Ast.While (c, body) ->
+          let fuel = ref 10_000 in
+          let result = ref None in
+          while !result = None && eval_expr env c <> 0L && !fuel > 0 do
+            decr fuel;
+            result := eval_stmts env body
+          done;
+          if !fuel = 0 then raise Unsupported
+          else (match !result with Some r -> Some r | None -> eval_stmts env rest)
+      | Ast.Return e -> Some (eval_expr env e)
+      | Ast.Expr e ->
+          ignore (eval_expr env e);
+          eval_stmts env rest
+      | _ -> raise Unsupported)
+
+(* ---------- generators ---------- *)
+
+let var_names = [ "x"; "y"; "z" ]
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun v -> Ast.Int (Int64.of_int v)) (int_range (-1000) 1000);
+        map (fun n -> Ast.Var n) (oneofl var_names);
+      ]
+  in
+  let binops =
+    [
+      Ast.Add; Ast.Sub; Ast.Mul; Ast.Band; Ast.Bor; Ast.Bxor; Ast.Lt; Ast.Le;
+      Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne; Ast.Ult; Ast.Ugt; Ast.Land; Ast.Lor;
+      Ast.Div; Ast.Mod; Ast.Shl; Ast.Shr;
+    ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (1, leaf);
+               ( 4,
+                 let* op = oneofl binops in
+                 let* a = self (n / 2) in
+                 let* b = self (n / 2) in
+                 (* keep div/mod/shift well-defined *)
+                 match op with
+                 | Ast.Div | Ast.Mod ->
+                     let* d = int_range 1 64 in
+                     return (Ast.Binop (op, a, Ast.Int (Int64.of_int d)))
+                 | Ast.Shl | Ast.Shr ->
+                     let* d = int_range 0 8 in
+                     return (Ast.Binop (op, a, Ast.Int (Int64.of_int d)))
+                 | _ -> return (Ast.Binop (op, a, b)) );
+               (1, map (fun a -> Ast.Unop (Ast.Neg, a)) (self (n - 1)));
+               (1, map (fun a -> Ast.Unop (Ast.Bitnot, a)) (self (n - 1)));
+               (1, map (fun a -> Ast.Unop (Ast.Lognot, a)) (self (n - 1)));
+             ]))
+
+let gen_stmts : Ast.stmt list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let assign =
+    let* n = oneofl var_names in
+    let* e = gen_expr in
+    return (Ast.Assign (n, e))
+  in
+  let if_ =
+    let* c = gen_expr in
+    let* t = assign in
+    let* f = assign in
+    return (Ast.If (c, [ t ], [ f ]))
+  in
+  let bounded_loop =
+    (* while (i < k) { body; i = i + 1 } with a fresh counter *)
+    let* k = int_range 0 5 in
+    let* body = assign in
+    return
+      (Ast.While
+         ( Ast.Binop (Ast.Lt, Ast.Var "i", Ast.Int (Int64.of_int k)),
+           [ body; Ast.Assign ("i", Ast.Binop (Ast.Add, Ast.Var "i", Ast.Int 1L)) ] ))
+  in
+  let* body = list_size (int_range 1 8) (frequency [ (4, assign); (2, if_); (1, bounded_loop) ]) in
+  let* result = gen_expr in
+  return
+    ([ Ast.Decl ("x", Ast.Int 1L); Ast.Decl ("y", Ast.Int 2L); Ast.Decl ("z", Ast.Int 3L);
+       Ast.Decl ("i", Ast.Int 0L) ]
+    @ body
+    @ [ Ast.Return result ])
+
+(* ---------- running compiled programs ---------- *)
+
+(** Compile main() = [stmts], run, return rax at exit via the exit code of
+    a wrapper that masks to 8 bits (exit codes are small), plus the full
+    64-bit value written to a result global. *)
+let run_compiled (stmts : Ast.stmt list) : int64 =
+  let u =
+    unit_ "prop"
+      ~globals:[ global_q "result" [ 0L ] ]
+      [
+        Ast.{ fname = "compute"; params = []; body = stmts };
+        func "main" []
+          [
+            set "result" (call "compute" []);
+            ret0;
+          ];
+      ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  let exe = Crt0.link_app ~libc u in
+  Vfs.add_self m.Machine.fs "prop" exe;
+  let p = Machine.spawn m ~exe_path:"prop" () in
+  (match Machine.run m ~max_cycles:30_000_000 with
+  | `Dead -> ()
+  | _ -> failwith "did not finish");
+  (match p.Proc.state with
+  | Proc.Exited 0 -> ()
+  | st -> failwith (Proc.state_to_string st));
+  let sym = Option.get (Self.find_symbol exe "result") in
+  Mem.read64 p.Proc.mem (Int64.add exe.Self.base (Int64.of_int sym.Self.sym_off))
+
+let reference (stmts : Ast.stmt list) : int64 option =
+  let env = Hashtbl.create 8 in
+  try eval_stmts env stmts with Unsupported -> None
+
+let prop_expr_differential =
+  QCheck.Test.make ~name:"compiled expressions match reference evaluator" ~count:150
+    (QCheck.make gen_expr) (fun e ->
+      let stmts =
+        [ Ast.Decl ("x", Ast.Int 1L); Ast.Decl ("y", Ast.Int 2L); Ast.Decl ("z", Ast.Int 3L);
+          Ast.Return e ]
+      in
+      match reference stmts with
+      | None -> QCheck.assume_fail ()
+      | Some expected -> run_compiled stmts = expected)
+
+let prop_stmt_differential =
+  QCheck.Test.make ~name:"compiled statements match reference evaluator" ~count:80
+    (QCheck.make gen_stmts) (fun stmts ->
+      match reference stmts with
+      | None -> QCheck.assume_fail ()
+      | Some expected -> run_compiled stmts = expected)
+
+(* ---------- targeted unit tests ---------- *)
+
+let check_prog expect stmts =
+  Alcotest.(check int64) "result" expect (run_compiled stmts)
+
+let test_short_circuit_effects () =
+  (* && must not evaluate its rhs when lhs is false: the rhs here would
+     divide by zero *)
+  check_prog 0L
+    [
+      decl "a" (i 0);
+      ret (v "a" &&: (i 1 /: v "a"));
+    ]
+
+let test_nested_calls () =
+  let u =
+    unit_ "nc"
+      [
+        func "add3" [ "a"; "b"; "c" ] [ ret (v "a" +: v "b" +: v "c") ];
+        func "main" []
+          [ ret (call "add3" [ call "add3" [ i 1; i 2; i 3 ]; i 10; call "add3" [ i 4; i 5; i 6 ] ] -: i 31) ];
+      ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "nc" (Crt0.link_app ~libc u);
+  let p = Machine.spawn m ~exe_path:"nc" () in
+  let (_ : _) = Machine.run m ~max_cycles:100_000 in
+  Test_machine.check_exit p
+
+let test_six_args () =
+  let u =
+    unit_ "sa"
+      [
+        func "sum6" [ "a"; "b"; "c"; "d"; "e"; "f" ]
+          [ ret (v "a" +: v "b" +: v "c" +: v "d" +: v "e" +: v "f") ];
+        func "main" [] [ ret (call "sum6" [ i 1; i 2; i 3; i 4; i 5; i 6 ] -: i 21) ];
+      ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "sa" (Crt0.link_app ~libc u);
+  let p = Machine.spawn m ~exe_path:"sa" () in
+  let (_ : _) = Machine.run m ~max_cycles:100_000 in
+  Test_machine.check_exit p
+
+let test_too_many_args_rejected () =
+  let u =
+    unit_ "tma"
+      [
+        func "f" [ "a"; "b"; "c"; "d"; "e"; "g"; "h" ] [ ret (v "a") ];
+        func "main" [] [ ret (call "f" [ i 1; i 2; i 3; i 4; i 5; i 6; i 7 ]) ];
+      ]
+  in
+  match Compile.compile_unit u with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected Compile_error"
+
+let test_break_continue () =
+  check_prog 18L
+    [
+      decl "acc" (i 0);
+      decl "k" (i 0);
+      while_ (i 1)
+        [
+          set "k" (v "k" +: i 1);
+          when_ (v "k" ==: i 3) [ continue_ ];
+          when_ (v "k" >: i 6) [ break_ ];
+          set "acc" (v "acc" +: v "k");
+        ];
+      (* 1+2+4+5+6 = 18 (3 skipped by continue, loop exits at 7) *)
+      ret (v "acc");
+    ]
+
+let test_switch_negative_and_zero () =
+  check_prog 3L
+    [
+      decl "acc" (i 0);
+      decl "k" (neg (i 1));
+      while_ (v "k" <=: i 1)
+        [
+          switch (v "k")
+            [ (-1, [ set "acc" (v "acc" +: i 1) ]); (0, [ set "acc" (v "acc" +: i 1) ]) ]
+            ~default:[ set "acc" (v "acc" +: i 1) ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (v "acc");
+    ]
+
+let test_callp_function_table () =
+  let u =
+    unit_ "fpt"
+      ~globals:[ global_addrs "table" [ "inc"; "dbl" ] ]
+      [
+        func "inc" [ "a" ] [ ret (v "a" +: i 1) ];
+        func "dbl" [ "a" ] [ ret (v "a" *: i 2) ];
+        func "main" []
+          [
+            decl "f0" (load64 (addr "table"));
+            decl "f1" (load64 (addr "table" +: i 8));
+            ret (callp (v "f0") [ i 5 ] +: callp (v "f1") [ i 5 ] -: i 16);
+          ];
+      ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "fpt" (Crt0.link_app ~libc u);
+  let p = Machine.spawn m ~exe_path:"fpt" () in
+  let (_ : _) = Machine.run m ~max_cycles:100_000 in
+  Test_machine.check_exit p
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_expr_differential;
+    QCheck_alcotest.to_alcotest prop_stmt_differential;
+    Alcotest.test_case "&& short-circuits effects" `Quick test_short_circuit_effects;
+    Alcotest.test_case "nested calls" `Quick test_nested_calls;
+    Alcotest.test_case "six register args" `Quick test_six_args;
+    Alcotest.test_case "seven args rejected" `Quick test_too_many_args_rejected;
+    Alcotest.test_case "break/continue" `Quick test_break_continue;
+    Alcotest.test_case "switch with negative keys" `Quick test_switch_negative_and_zero;
+    Alcotest.test_case "function-pointer table (Callp)" `Quick test_callp_function_table;
+  ]

@@ -1,0 +1,222 @@
+(** Property and analysis tests for the DynaCut core: coverage-graph
+    algebra, rewrite reversibility, function bounds, gadget census, PLT
+    liveness. *)
+
+(* ---------- covgraph algebra ---------- *)
+
+let gen_block =
+  QCheck.Gen.(
+    map3
+      (fun m off size ->
+        {
+          Covgraph.b_module = (if m then "app" else "libc.so");
+          b_off = off * 4;
+          b_size = (size mod 32) + 1;
+        })
+      bool (int_range 0 512) small_nat)
+
+let gen_blocks = QCheck.Gen.(list_size (int_range 0 60) gen_block)
+
+let graph_of blocks =
+  let g = Covgraph.create () in
+  List.iter (Covgraph.add g) blocks;
+  g
+
+let arb_blocks =
+  QCheck.make
+    ~print:(fun bs ->
+      String.concat ";"
+        (List.map (fun (b : Covgraph.block) -> Printf.sprintf "%s+%x" b.Covgraph.b_module b.Covgraph.b_off) bs))
+    gen_blocks
+
+let prop_diff_soundness =
+  QCheck.Test.make ~name:"diff a b contains nothing from b" ~count:300
+    (QCheck.pair arb_blocks arb_blocks) (fun (xs, ys) ->
+      let a = graph_of xs and b = graph_of ys in
+      List.for_all (fun blk -> not (Covgraph.mem b blk)) (Covgraph.diff a b))
+
+let prop_diff_completeness =
+  QCheck.Test.make ~name:"diff a b + intersect a b covers a" ~count:300
+    (QCheck.pair arb_blocks arb_blocks) (fun (xs, ys) ->
+      let a = graph_of xs and b = graph_of ys in
+      List.length (Covgraph.diff a b) + List.length (Covgraph.intersect a b)
+      = Covgraph.cardinal a)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge is commutative on membership" ~count:300
+    (QCheck.pair arb_blocks arb_blocks) (fun (xs, ys) ->
+      let ab = Covgraph.merge [ graph_of xs; graph_of ys ] in
+      let ba = Covgraph.merge [ graph_of ys; graph_of xs ] in
+      List.for_all (Covgraph.mem ba) (Covgraph.blocks ab)
+      && List.for_all (Covgraph.mem ab) (Covgraph.blocks ba))
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"merge with self is identity" ~count:300 arb_blocks (fun xs ->
+      let a = graph_of xs in
+      Covgraph.cardinal (Covgraph.merge [ a; a ]) = Covgraph.cardinal a)
+
+(* ---------- normalization ---------- *)
+
+let test_normalize_splits_straddling_block () =
+  let exe = Crt0.link_app ~libc:Test_machine.libc Test_core.dispatch_server in
+  let cfg = Cfg.of_self exe in
+  (* take two adjacent static blocks and pretend one dynamic block covered
+     both (fall-through execution) *)
+  let rec find_adjacent = function
+    | (a : Cfg.block) :: b :: rest ->
+        if a.Cfg.bb_off + a.Cfg.bb_size = b.Cfg.bb_off && a.Cfg.bb_size > 0 && b.Cfg.bb_size > 0
+        then (a, b)
+        else find_adjacent (b :: rest)
+    | _ -> Alcotest.fail "no adjacent blocks"
+  in
+  let a, b = find_adjacent (Cfg.real_blocks cfg) in
+  let g = Covgraph.create () in
+  Covgraph.add g
+    { Covgraph.b_module = "dsrv"; b_off = a.Cfg.bb_off; b_size = a.Cfg.bb_size + b.Cfg.bb_size };
+  let n = Covgraph.normalize ~cfg_of:(fun m -> if m = "dsrv" then Some cfg else None) g in
+  Alcotest.(check bool) "covers a" true (Covgraph.mem_off n ~module_:"dsrv" ~off:a.Cfg.bb_off);
+  Alcotest.(check bool) "covers b" true (Covgraph.mem_off n ~module_:"dsrv" ~off:b.Cfg.bb_off)
+
+let test_normalize_keeps_unknown_modules () =
+  let g = Covgraph.create () in
+  Covgraph.add g { Covgraph.b_module = "mystery"; b_off = 4; b_size = 8 };
+  let n = Covgraph.normalize ~cfg_of:(fun _ -> None) g in
+  Alcotest.(check int) "untouched" 1 (Covgraph.cardinal n)
+
+(* ---------- rewriter reversibility ---------- *)
+
+let checkpointed_dsrv () =
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" Test_machine.libc;
+  Vfs.add_self m.Machine.fs "dsrv" (Crt0.link_app ~libc:Test_machine.libc Test_core.dispatch_server);
+  let p = Machine.spawn m ~exe_path:"dsrv" () in
+  let (_ : _) = Machine.run m ~max_cycles:2_000_000 in
+  Machine.freeze m ~pid:p.Proc.pid;
+  (m, Checkpoint.dump m ~pid:p.Proc.pid ())
+
+let exe_blocks () =
+  let exe = Crt0.link_app ~libc:Test_machine.libc Test_core.dispatch_server in
+  let cfg = Cfg.of_self exe in
+  List.filter_map
+    (fun (b : Cfg.block) ->
+      if b.Cfg.bb_size > 0 then
+        Some { Covgraph.b_module = "dsrv"; b_off = b.Cfg.bb_off; b_size = b.Cfg.bb_size }
+      else None)
+    (Cfg.real_blocks cfg)
+
+let prop_patch_restore_identity =
+  QCheck.Test.make ~name:"disable+restore is byte-identical" ~count:25
+    QCheck.(pair (int_range 0 1000) bool)
+    (fun (seed, wipe) ->
+      let _, img = checkpointed_dsrv () in
+      let before = Images.encode img in
+      let all = exe_blocks () in
+      let rng = Rng.create seed in
+      let victims = List.filter (fun _ -> Rng.bool rng) all in
+      let patches =
+        if wipe then Rewriter.wipe_blocks img victims
+        else Rewriter.disable_first_byte img victims
+      in
+      (* patched image differs iff we patched something *)
+      let mid = Images.encode img in
+      (victims = [] || mid <> before)
+      &&
+      (Rewriter.restore_bytes img patches;
+       Images.encode img = before))
+
+let test_unmap_remap_preserves_content () =
+  let _, img = checkpointed_dsrv () in
+  (* pick all blocks of one full page of .text *)
+  let text_base = 0x401000L in
+  let before = try Some (Images.read_mem img text_base 4096) with Not_found -> None in
+  match before with
+  | None -> Alcotest.fail "text page not dumped"
+  | Some before ->
+      let blocks =
+        [ { Covgraph.b_module = "dsrv"; b_off = 0x1000; b_size = 4096 } ]
+      in
+      let patches, img' = Rewriter.unmap_block_pages img blocks in
+      Alcotest.(check bool) "unmapped" true
+        (match Images.read_mem img' text_base 1 with
+        | _ -> false
+        | exception Not_found -> true);
+      Alcotest.(check bool) "vma removed" true (Images.find_vma img' text_base = None);
+      let img'' = Rewriter.remap img' patches in
+      let after = Images.read_mem img'' text_base 4096 in
+      Alcotest.(check bool) "content restored" true (Bytes.equal before after)
+
+(* ---------- funcbounds ---------- *)
+
+let test_funcbounds_groups_labels () =
+  let exe = Crt0.link_app ~libc:Test_machine.libc Test_core.dispatch_server in
+  let bounds = Funcbounds.of_self exe in
+  let sym n = (Option.get (Self.find_symbol exe n)).Self.sym_off in
+  Alcotest.(check bool) "feat_set with err_path (same fn)" true
+    (Funcbounds.same_function bounds (sym "feat_set") (sym "err_path"));
+  Alcotest.(check bool) "do_set separate from handle" false
+    (Funcbounds.same_function bounds (sym "do_set") (sym "err_path"));
+  Alcotest.(check bool) "main separate" false
+    (Funcbounds.same_function bounds (sym "main") (sym "err_path"))
+
+(* ---------- gadget census ---------- *)
+
+let test_gadget_census_drops_after_wipe () =
+  let _, img = checkpointed_dsrv () in
+  let before = Gadget.of_image img in
+  Alcotest.(check bool) "some gadgets" true (before.Gadget.g_gadgets > 0);
+  let (_ : Rewriter.patch list) = Rewriter.wipe_blocks img (exe_blocks ()) in
+  let after = Gadget.of_image img in
+  Alcotest.(check bool) "fewer gadgets" true
+    (after.Gadget.g_gadgets < before.Gadget.g_gadgets)
+
+let test_gadget_scan_trap_region () =
+  let g, s = Gadget.scan_bytes (Bytes.make 256 '\xCC') in
+  Alcotest.(check int) "no gadgets in wiped region" 0 g;
+  Alcotest.(check int) "no syscall gadgets" 0 s
+
+let test_gadget_scan_counts_ret_suffixes () =
+  (* mov;add;ret: offsets that decode to a ret-terminated run *)
+  let bytes = Encode.program [ Insn.Mov_rr (Reg.Rax, Reg.Rcx); Insn.Add_rr (Reg.Rax, Reg.Rcx); Insn.Ret ] in
+  let g, _ = Gadget.scan_bytes bytes in
+  Alcotest.(check bool) "at least 3" true (g >= 3)
+
+(* ---------- PLT liveness ---------- *)
+
+let test_pltlive_classification () =
+  let exe = Crt0.link_app ~libc:Test_machine.libc Test_core.dispatch_server in
+  let stub name = List.assoc name exe.Self.plt in
+  let mk offs =
+    let g = Covgraph.create () in
+    List.iter
+      (fun o -> Covgraph.add g { Covgraph.b_module = "dsrv"; b_off = o; b_size = 2 })
+      offs;
+    g
+  in
+  (* socket used only during init; send used in both; accept serving-only *)
+  let init = mk [ stub "socket"; stub "send" ] in
+  let serving = mk [ stub "send"; stub "accept" ] in
+  let r = Pltlive.analyse exe ~init ~serving in
+  let find n = List.find (fun (e : Pltlive.plt_entry) -> e.Pltlive.pe_name = n) r.Pltlive.pr_entries in
+  Alcotest.(check bool) "socket init-only" true (find "socket").Pltlive.pe_init_only;
+  Alcotest.(check bool) "send not removable" false (find "send").Pltlive.pe_init_only;
+  Alcotest.(check bool) "accept executed" true (find "accept").Pltlive.pe_executed;
+  Alcotest.(check bool) "send survives" true (Pltlive.survives r "send")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_diff_soundness;
+    QCheck_alcotest.to_alcotest prop_diff_completeness;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_merge_idempotent;
+    Alcotest.test_case "normalize splits straddling blocks" `Quick
+      test_normalize_splits_straddling_block;
+    Alcotest.test_case "normalize keeps unknown modules" `Quick
+      test_normalize_keeps_unknown_modules;
+    QCheck_alcotest.to_alcotest prop_patch_restore_identity;
+    Alcotest.test_case "unmap/remap roundtrip" `Quick test_unmap_remap_preserves_content;
+    Alcotest.test_case "funcbounds label grouping" `Quick test_funcbounds_groups_labels;
+    Alcotest.test_case "gadget census drops after wipe" `Quick test_gadget_census_drops_after_wipe;
+    Alcotest.test_case "gadget scan of wiped region" `Quick test_gadget_scan_trap_region;
+    Alcotest.test_case "gadget suffixes counted" `Quick test_gadget_scan_counts_ret_suffixes;
+    Alcotest.test_case "PLT liveness classification" `Quick test_pltlive_classification;
+  ]

@@ -1,0 +1,312 @@
+(** Machine edge cases: signal semantics, syscall error paths, scheduler
+    behaviour — the corners DynaCut's rewriting leans on. *)
+
+open Dsl
+
+let libc = Test_machine.libc
+
+let boot = Test_machine.boot
+let exit_status = Test_machine.exit_status
+
+(* ---------- signals ---------- *)
+
+let test_bad_sigreturn_magic_kills () =
+  (* calling sigreturn with rsp pointing at garbage must not be a
+     privilege primitive: the kernel validates the frame magic *)
+  let items =
+    [
+      Asm.Section ".text";
+      Asm.Global "main";
+      Asm.Label "main";
+      Asm.Ins (Insn.Mov_ri (Reg.Rax, Int64.of_int Abi.sys_sigreturn));
+      Asm.Ins Insn.Syscall;
+      Asm.Ins Insn.Ret;
+    ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  let obj = Asm.assemble ~name:"bsr2" (items @ Crt0.items) in
+  Vfs.add_self m.Machine.fs "bsr2" (Link.link_exec ~name:"bsr2" ~entry:"_start" ~libs:[ libc ] obj);
+  let p = Machine.spawn m ~exe_path:"bsr2" () in
+  let (_ : _) = Machine.run m ~max_cycles:10_000 in
+  match p.Proc.state with
+  | Proc.Killed s -> Alcotest.(check int) "SIGSEGV" Abi.sigsegv s
+  | st -> Alcotest.failf "expected kill, got %s" (Proc.state_to_string st)
+
+let test_sigkill_uncatchable () =
+  let u =
+    unit_ "skill"
+      [
+        func "handler" [ "signum"; "frame" ] [ expr (v "signum"); expr (v "frame"); ret0 ];
+        func "main" []
+          [
+            (* try to catch SIGKILL: the kernel must refuse *)
+            ret (call "sigaction" [ i Abi.sigkill; addr "handler"; i 0 ]);
+          ];
+      ]
+  in
+  let _, p = boot u in
+  (match exit_status p with
+  | `Exit c -> Alcotest.(check bool) "sigaction(SIGKILL) rejected" true (c <> 0)
+  | _ -> Alcotest.fail "expected exit");
+  (* and SIGKILL posted from outside always kills *)
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "loop"
+    (Crt0.link_app ~libc (unit_ "loop" [ func "main" [] [ forever [ expr (i 1) ]; ret0 ] ]));
+  let p = Machine.spawn m ~exe_path:"loop" () in
+  let (_ : _) = Machine.run m ~max_cycles:5_000 in
+  Machine.post_signal m ~pid:p.Proc.pid ~signum:Abi.sigkill;
+  match p.Proc.state with
+  | Proc.Killed s -> Alcotest.(check int) "SIGKILL" Abi.sigkill s
+  | st -> Alcotest.failf "not killed: %s" (Proc.state_to_string st)
+
+let test_signal_interrupts_blocked_accept () =
+  (* deliver a handled signal to a process blocked in accept: the handler
+     runs, sigreturn re-executes the syscall, the server still accepts *)
+  let u =
+    unit_ "sia"
+      ~globals:[ global_q "sig_count" [ 0L ]; global_zero "rb" 64 ]
+      [
+        func "handler" [ "signum"; "frame" ]
+          [
+            expr (v "signum");
+            expr (v "frame");
+            set "sig_count" (v "sig_count" +: i 1);
+            ret0;
+          ];
+        func "main" []
+          [
+            do_ "sigaction" [ i Abi.sigterm; addr "handler"; addr "rst" ];
+            decl "sfd" (call "socket" []);
+            do_ "bind" [ v "sfd"; i 9300 ];
+            do_ "listen" [ v "sfd" ];
+            forever
+              [
+                decl "c" (call "accept" [ v "sfd" ]);
+                decl "n" (call "recv" [ v "c"; addr "rb"; i 64 ]);
+                expr (v "n");
+                do_ "send" [ v "c"; s "ok"; i 2 ];
+                do_ "close" [ v "c" ];
+              ];
+            ret0;
+          ];
+      ]
+  in
+  let rst =
+    [
+      Asm.Section ".text";
+      Asm.Global "rst";
+      Asm.Label "rst";
+      Asm.Ins (Insn.Mov_ri (Reg.Rax, Int64.of_int Abi.sys_sigreturn));
+      Asm.Ins Insn.Syscall;
+    ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  let obj = Asm.assemble ~name:"sia" (Compile.compile_unit u @ rst @ Crt0.items) in
+  Vfs.add_self m.Machine.fs "sia" (Link.link_exec ~name:"sia" ~entry:"_start" ~libs:[ libc ] obj);
+  let p = Machine.spawn m ~exe_path:"sia" () in
+  let (_ : _) = Machine.run m ~max_cycles:1_000_000 in
+  Alcotest.(check bool) "blocked in accept" true
+    (match p.Proc.state with Proc.Blocked (Proc.On_accept _) -> true | _ -> false);
+  Machine.post_signal m ~pid:p.Proc.pid ~signum:Abi.sigterm;
+  let (_ : _) = Machine.run m ~max_cycles:100_000 in
+  (* handler ran, then the syscall restarted and blocked again *)
+  let exe = Option.get (Vfs.find_self m.Machine.fs "sia") in
+  let sc = Option.get (Self.find_symbol exe "sig_count") in
+  let v = Mem.read64 p.Proc.mem (Int64.add exe.Self.base (Int64.of_int sc.Self.sym_off)) in
+  Alcotest.(check int64) "handler ran once" 1L v;
+  Alcotest.(check bool) "re-blocked" true
+    (match p.Proc.state with Proc.Blocked (Proc.On_accept _) -> true | _ -> false);
+  (* and the server still serves *)
+  let c = Net.connect m.Machine.net 9300 in
+  Net.client_send c "x";
+  let (_ : _) = Machine.run m ~max_cycles:1_000_000 in
+  Alcotest.(check string) "serves after signal" "ok" (Net.client_recv c)
+
+(* ---------- syscall error paths ---------- *)
+
+let test_syscall_errors () =
+  let _, p =
+    boot
+      (unit_ "errs"
+         ~globals:[ global_zero "b" 16 ]
+         [
+           func "main" []
+             [
+               (* open missing file *)
+               when_ (call "open" [ s "/nope" ] <>: i Abi.enoent) [ ret (i 1) ];
+               (* read on a bad fd *)
+               when_ (call "read" [ i 99; addr "b"; i 4 ] <>: i Abi.ebadf) [ ret (i 2) ];
+               (* write to a listener fd *)
+               decl "sfd" (call "socket" []);
+               when_ (call "write" [ v "sfd"; addr "b"; i 1 ] <>: i Abi.einval) [ ret (i 3) ];
+               (* close twice *)
+               when_ (call "close" [ v "sfd" ] <>: i 0) [ ret (i 4) ];
+               when_ (call "close" [ v "sfd" ] <>: i Abi.ebadf) [ ret (i 5) ];
+               (* mmap at an occupied fixed address *)
+               decl "a" (call "mmap" [ i 0; i 4096; i 6 ]);
+               when_ (call "mmap" [ v "a"; i 4096; i 6 ] <>: i Abi.enomem) [ ret (i 6) ];
+               (* unknown syscall via raw number is exercised in asm below *)
+               ret0;
+             ];
+         ])
+  in
+  Test_machine.check_exit p
+
+let test_file_read_to_eof () =
+  let m = Machine.create () in
+  Vfs.add m.Machine.fs "/f" "abcdef";
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  let u =
+    unit_ "eof"
+      ~globals:[ global_zero "b" 16 ]
+      [
+        func "main" []
+          [
+            decl "fd" (call "open" [ s "/f" ]);
+            when_ (call "read" [ v "fd"; addr "b"; i 4 ] <>: i 4) [ ret (i 1) ];
+            when_ (call "read" [ v "fd"; addr "b"; i 4 ] <>: i 2) [ ret (i 2) ];
+            when_ (call "read" [ v "fd"; addr "b"; i 4 ] <>: i 0) [ ret (i 3) ];
+            ret0;
+          ];
+      ]
+  in
+  Vfs.add_self m.Machine.fs "eof" (Crt0.link_app ~libc u);
+  let p = Machine.spawn m ~exe_path:"eof" () in
+  let (_ : _) = Machine.run m ~max_cycles:200_000 in
+  Test_machine.check_exit p
+
+let test_gettime_monotonic () =
+  let _, p =
+    boot
+      (unit_ "gt"
+         [
+           func "main" []
+             [
+               decl "a" (call "gettime" []);
+               decl "b" (call "gettime" []);
+               when_ (v "b" <=: v "a") [ ret (i 1) ];
+               ret0;
+             ];
+         ])
+  in
+  Test_machine.check_exit p
+
+let test_guest_kill_guest () =
+  (* parent forks a looping child and SIGKILLs it *)
+  let _, p =
+    boot
+      (unit_ "gk"
+         [
+           func "main" []
+             [
+               decl "pid" (call "fork" []);
+               when_ (v "pid" ==: i 0) [ forever [ expr (i 1) ]; ret0 ];
+               do_ "nanosleep" [ i 2000 ];
+               do_ "kill" [ v "pid"; i Abi.sigkill ];
+               ret0;
+             ];
+         ])
+  in
+  Test_machine.check_exit p
+
+let test_hlt_kills () =
+  let items =
+    [
+      Asm.Section ".text";
+      Asm.Global "main";
+      Asm.Label "main";
+      Asm.Ins Insn.Hlt;
+      Asm.Ins Insn.Ret;
+    ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  let obj = Asm.assemble ~name:"h" (items @ Crt0.items) in
+  Vfs.add_self m.Machine.fs "h" (Link.link_exec ~name:"h" ~entry:"_start" ~libs:[ libc ] obj);
+  let p = Machine.spawn m ~exe_path:"h" () in
+  let (_ : _) = Machine.run m ~max_cycles:1_000 in
+  match p.Proc.state with
+  | Proc.Killed s -> Alcotest.(check int) "SIGILL" Abi.sigill s
+  | st -> Alcotest.failf "expected kill, got %s" (Proc.state_to_string st)
+
+let test_stack_overflow_double_fault () =
+  (* unbounded recursion blows the stack; the fault-during-frame-push
+     path must terminate rather than loop *)
+  let _, p =
+    boot ~max_cycles:20_000_000
+      (unit_ "so"
+         [
+           func "rec" [ "n" ] [ ret (call "rec" [ v "n" +: i 1 ]) ];
+           func "main" [] [ ret (call "rec" [ i 0 ]) ];
+         ])
+  in
+  match exit_status p with
+  | `Killed s -> Alcotest.(check int) "SIGSEGV" Abi.sigsegv s
+  | _ -> Alcotest.fail "expected stack-overflow kill"
+
+let test_scheduler_fairness () =
+  (* two forked busy loops plus a sleeper: all make progress *)
+  let u =
+    unit_ "fair"
+      ~globals:[ global_q "a" [ 0L ]; global_q "b" [ 0L ] ]
+      [
+        func "main" []
+          [
+            decl "pid" (call "fork" []);
+            if_ (v "pid" ==: i 0)
+              [
+                decl "k" (i 0);
+                while_ (v "k" <: i 5000) [ set "a" (v "a" +: i 1); set "k" (v "k" +: i 1) ];
+                ret0;
+              ]
+              [
+                decl "k2" (i 0);
+                while_ (v "k2" <: i 5000) [ set "b" (v "b" +: i 1); set "k2" (v "k2" +: i 1) ];
+                ret0;
+              ];
+          ];
+      ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "fair" (Crt0.link_app ~libc u);
+  let root = Machine.spawn m ~exe_path:"fair" () in
+  let (_ : _) = Machine.run m ~max_cycles:10_000_000 in
+  List.iter
+    (fun (q : Proc.t) -> Alcotest.(check bool) "finished" true (q.Proc.state = Proc.Exited 0))
+    (Machine.all_procs m);
+  ignore root
+
+let test_frozen_process_not_scheduled () =
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "loop"
+    (Crt0.link_app ~libc (unit_ "loop" [ func "main" [] [ forever [ expr (i 1) ]; ret0 ] ]));
+  let p = Machine.spawn m ~exe_path:"loop" () in
+  let (_ : _) = Machine.run m ~max_cycles:1_000 in
+  Machine.freeze m ~pid:p.Proc.pid;
+  let before = p.Proc.retired in
+  let (_ : _) = Machine.run m ~max_cycles:10_000 in
+  Alcotest.(check int64) "no instructions while frozen" before p.Proc.retired;
+  Machine.thaw m ~pid:p.Proc.pid;
+  let (_ : _) = Machine.run m ~max_cycles:1_000 in
+  Alcotest.(check bool) "runs after thaw" true (p.Proc.retired > before)
+
+let suite =
+  [
+    Alcotest.test_case "bad sigreturn magic" `Quick test_bad_sigreturn_magic_kills;
+    Alcotest.test_case "SIGKILL uncatchable" `Quick test_sigkill_uncatchable;
+    Alcotest.test_case "signal interrupts blocked accept" `Quick
+      test_signal_interrupts_blocked_accept;
+    Alcotest.test_case "syscall error paths" `Quick test_syscall_errors;
+    Alcotest.test_case "file read to EOF" `Quick test_file_read_to_eof;
+    Alcotest.test_case "gettime monotonic" `Quick test_gettime_monotonic;
+    Alcotest.test_case "guest kills guest" `Quick test_guest_kill_guest;
+    Alcotest.test_case "hlt kills" `Quick test_hlt_kills;
+    Alcotest.test_case "stack overflow double fault" `Quick test_stack_overflow_double_fault;
+    Alcotest.test_case "scheduler fairness" `Quick test_scheduler_fairness;
+    Alcotest.test_case "frozen process not scheduled" `Quick test_frozen_process_not_scheduled;
+  ]

@@ -1,0 +1,154 @@
+(** Dynamic seccomp filtering via image rewriting (paper §5) and
+    CRIT-based manual image surgery. *)
+
+open Dsl
+
+let libc = Test_machine.libc
+
+let boot_rkv () =
+  let c = Workload.spawn Workload.rkv in
+  Workload.wait_ready c;
+  c
+
+let test_filter_kills_denied_syscall () =
+  (* a post-init rkv never forks; deny fork and prove the policy bites *)
+  let c = boot_rkv () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let (_ : Dynacut.timings) =
+    Dynacut.apply_seccomp session ~denied:(Some [ Abi.sys_fork; Abi.sys_open ])
+  in
+  (* allowed traffic still flows *)
+  Alcotest.(check string) "GET fine" "$hello" (Workload.rpc c "GET greeting\n");
+  Alcotest.(check string) "SET fine" "+OK" (Workload.rpc c "SET k v\n");
+  (* the filter persists in the live process *)
+  let p = Machine.proc_exn c.Workload.m c.Workload.pid in
+  Alcotest.(check bool) "filter installed" true
+    (p.Proc.seccomp = Some [ Abi.sys_fork; Abi.sys_open ]);
+  (* now have the guest trip it: SAVE calls nothing denied, but a fresh
+     guest that calls open is killed by SIGSYS *)
+  let u =
+    unit_ "opener"
+      [ func "main" [] [ ret (call "open" [ s "/etc/rkv.conf" ]) ] ]
+  in
+  Vfs.add_self c.Workload.m.Machine.fs "opener" (Crt0.link_app ~libc u);
+  let q = Machine.spawn c.Workload.m ~exe_path:"opener" () in
+  q.Proc.seccomp <- Some [ Abi.sys_open ];
+  let (_ : _) = Machine.run c.Workload.m ~max_cycles:100_000 in
+  match q.Proc.state with
+  | Proc.Killed s -> Alcotest.(check int) "SIGSYS" Abi.sigsys s
+  | st -> Alcotest.failf "expected SIGSYS kill, got %s" (Proc.state_to_string st)
+
+let test_filter_survives_checkpoint_restore () =
+  let c = boot_rkv () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let (_ : Dynacut.timings) =
+    Dynacut.apply_seccomp session ~denied:(Some [ Abi.sys_fork ])
+  in
+  (* a second unrelated rewrite must not lose the filter *)
+  let blocks = Common.rkv_feature_blocks [ "SET a 1\n" ] in
+  let _ =
+    Dynacut.cut session ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect "rkv_err" }
+  in
+  let p = Machine.proc_exn c.Workload.m c.Workload.pid in
+  Alcotest.(check bool) "filter survived the second rewrite" true
+    (p.Proc.seccomp = Some [ Abi.sys_fork ])
+
+let test_filter_clearable () =
+  let c = boot_rkv () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let (_ : Dynacut.timings) = Dynacut.apply_seccomp session ~denied:(Some [ Abi.sys_fork ]) in
+  let (_ : Dynacut.timings) = Dynacut.apply_seccomp session ~denied:None in
+  let p = Machine.proc_exn c.Workload.m c.Workload.pid in
+  Alcotest.(check bool) "cleared" true (p.Proc.seccomp = None);
+  Alcotest.(check string) "still serves" "$hello" (Workload.rpc c "GET greeting\n")
+
+let test_filter_inherited_by_fork () =
+  let u =
+    unit_ "fkf"
+      [
+        func "main" []
+          [
+            decl "pid" (call "fork" []);
+            when_ (v "pid" ==: i 0) [ ret (call "open" [ s "/x" ]) ];
+            do_ "nanosleep" [ i 100000 ];
+            ret0;
+          ];
+      ]
+  in
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "fkf" (Crt0.link_app ~libc u);
+  let p = Machine.spawn m ~exe_path:"fkf" () in
+  p.Proc.seccomp <- Some [ Abi.sys_open ];
+  let (_ : _) = Machine.run m ~max_cycles:1_000_000 in
+  let child =
+    List.find (fun (q : Proc.t) -> q.Proc.parent = p.Proc.pid) (Machine.all_procs m)
+  in
+  (match child.Proc.state with
+  | Proc.Killed s -> Alcotest.(check int) "child SIGSYS" Abi.sigsys s
+  | st -> Alcotest.failf "expected child kill, got %s" (Proc.state_to_string st));
+  Alcotest.(check bool) "parent exits fine" true (p.Proc.state = Proc.Exited 0)
+
+(* ---------- CRIT manual surgery ---------- *)
+
+let test_crit_edit_register_roundtrip () =
+  (* the paper's crit decode/edit/encode workflow: decode the image to
+     text, change a register, encode, restore — the process resumes with
+     the edited register *)
+  let c = boot_rkv () in
+  let m = c.Workload.m in
+  Machine.freeze m ~pid:c.Workload.pid;
+  let img = Checkpoint.dump m ~pid:c.Workload.pid () in
+  let text = Crit.decode_to_text (Images.encode img) in
+  (* textual surgery: bump r15 (callee-saved, unused while blocked) *)
+  let sx = Sexpr.of_string text in
+  let edited =
+    match sx with
+    | Sexpr.List items ->
+        Sexpr.List
+          (List.map
+             (function
+               | Sexpr.List [ Sexpr.Atom "core"; core ] ->
+                   let core' =
+                     match core with
+                     | Sexpr.List fields ->
+                         Sexpr.List
+                           (List.map
+                              (function
+                                | Sexpr.List [ Sexpr.Atom "gpr"; Sexpr.List gprs ] ->
+                                    let gprs' =
+                                      List.mapi
+                                        (fun i g ->
+                                          if i = Reg.to_int Reg.R15 then
+                                            Sexpr.Atom "0x1234567890"
+                                          else g)
+                                        gprs
+                                    in
+                                    Sexpr.List [ Sexpr.Atom "gpr"; Sexpr.List gprs' ]
+                                | f -> f)
+                              fields)
+                     | _ -> core
+                   in
+                   Sexpr.List [ Sexpr.Atom "core"; core' ]
+               | item -> item)
+             items)
+    | _ -> Alcotest.fail "bad image text"
+  in
+  let blob' = Crit.encode_from_text (Sexpr.to_string edited) in
+  Machine.reap m ~pid:c.Workload.pid;
+  let p = Restore.restore m (Images.decode blob') in
+  Alcotest.(check int64) "edited register restored" 0x1234567890L
+    (Proc.get p.Proc.regs Reg.R15);
+  (* and the process still serves *)
+  Alcotest.(check string) "alive" "$hello" (Workload.rpc c "GET greeting\n")
+
+let suite =
+  [
+    Alcotest.test_case "denied syscall kills (SIGSYS)" `Quick test_filter_kills_denied_syscall;
+    Alcotest.test_case "filter survives later rewrites" `Quick
+      test_filter_survives_checkpoint_restore;
+    Alcotest.test_case "filter clearable at run time" `Quick test_filter_clearable;
+    Alcotest.test_case "filter inherited across fork" `Quick test_filter_inherited_by_fork;
+    Alcotest.test_case "CRIT decode/edit/encode surgery" `Quick test_crit_edit_register_roundtrip;
+  ]

@@ -1,0 +1,153 @@
+(** Tests for the drcov format and the coverage collector. *)
+
+open Dsl
+
+let libc = Test_machine.libc
+
+(* ---------- drcov format ---------- *)
+
+let sample_log =
+  {
+    Drcov.modules =
+      [
+        { Drcov.mi_id = 0; mi_name = "app"; mi_base = 0x400000L; mi_end = 0x420000L };
+        { Drcov.mi_id = 1; mi_name = "libc.so"; mi_base = 0x7f0000000000L; mi_end = 0x7f0000020000L };
+      ];
+    bbs =
+      [
+        { Drcov.bb_mod = 0; bb_off = 0x100; bb_size = 12; bb_seq = 0 };
+        { Drcov.bb_mod = 1; bb_off = 0x40; bb_size = 3; bb_seq = 1 };
+        { Drcov.bb_mod = 0; bb_off = 0x200; bb_size = 30; bb_seq = 2 };
+      ];
+  }
+
+let test_drcov_roundtrip () =
+  let s = Drcov.to_string sample_log in
+  let l = Drcov.of_string s in
+  Alcotest.(check int) "modules" 2 (List.length l.Drcov.modules);
+  Alcotest.(check int) "bbs" 3 (List.length l.Drcov.bbs);
+  Alcotest.(check string) "stable" s (Drcov.to_string l)
+
+let prop_drcov_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* nmod = int_range 1 4 in
+      let modules =
+        List.init nmod (fun k ->
+            {
+              Drcov.mi_id = k;
+              mi_name = Printf.sprintf "m%d" k;
+              mi_base = Int64.of_int (k * 0x100000);
+              mi_end = Int64.of_int ((k * 0x100000) + 0x10000);
+            })
+      in
+      let* bbs =
+        list_size (int_range 0 50)
+          (map3
+             (fun m off size -> (m mod nmod, off, (size mod 100) + 1))
+             (int_range 0 10) (int_range 0 0xffff) small_nat)
+      in
+      let bbs = List.mapi (fun i (m, off, size) -> { Drcov.bb_mod = m; bb_off = off; bb_size = size; bb_seq = i }) bbs in
+      return { Drcov.modules; bbs })
+  in
+  QCheck.Test.make ~name:"drcov to/of_string roundtrip" ~count:200 (QCheck.make gen)
+    (fun log -> Drcov.of_string (Drcov.to_string log) = log)
+
+let test_drcov_covered_bytes () =
+  Alcotest.(check int) "sum" 45 (Drcov.covered_bytes sample_log)
+
+(* ---------- collector ---------- *)
+
+let counter_app =
+  unit_ "cnt"
+    [
+      func "tick" [ "n" ] [ ret (v "n" +: i 1) ];
+      func "main" []
+        [
+          decl "k" (i 0);
+          while_ (v "k" <: i 5) [ set "k" (call "tick" [ v "k" ]) ];
+          ret0;
+        ];
+    ]
+
+let boot_traced u =
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs u.Ast.cu_name (Crt0.link_app ~libc u);
+  let p = Machine.spawn m ~exe_path:u.Ast.cu_name () in
+  let col = Collector.attach m ~pid:p.Proc.pid in
+  (m, p, col)
+
+let test_collector_dedup () =
+  let m, _, col = boot_traced counter_app in
+  let (_ : _) = Machine.run m ~max_cycles:100_000 in
+  let log = Collector.detach col in
+  (* the loop runs 5 times but its blocks appear once *)
+  let keys = List.map (fun (b : Drcov.bb) -> (b.Drcov.bb_mod, b.Drcov.bb_off)) log.Drcov.bbs in
+  Alcotest.(check bool) "unique" true (List.sort_uniq compare keys = List.sort compare keys);
+  Alcotest.(check bool) "some blocks" true (List.length keys > 3)
+
+let test_collector_module_attribution () =
+  let m, _, col = boot_traced Test_core.dispatch_server in
+  let (_ : _) = Machine.run m ~max_cycles:2_000_000 in
+  let c = Net.connect m.Machine.net 9200 in
+  Net.client_send c "G";
+  let (_ : _) = Machine.run m ~max_cycles:2_000_000 in
+  let log = Collector.detach col in
+  let mods =
+    List.sort_uniq compare
+      (List.filter_map (fun (b : Drcov.bb) ->
+           Option.map (fun m -> m.Drcov.mi_name) (Drcov.module_of_bb log b))
+         log.Drcov.bbs)
+  in
+  Alcotest.(check (list string)) "both modules traced" [ "dsrv"; "libc.so" ] mods
+
+let test_collector_nudge_resets () =
+  let m, _, col = boot_traced counter_app in
+  let (_ : _) = Machine.run m ~max_cycles:1_000 in
+  let first = Collector.nudge col in
+  Alcotest.(check bool) "init coverage nonempty" true (Drcov.bb_count first > 0);
+  (* nothing ran since the nudge *)
+  let second = Collector.detach col in
+  Alcotest.(check bool) "cleared" true
+    (Drcov.bb_count second <= Drcov.bb_count first);
+  Alcotest.(check int) "dump recorded" 1 (List.length (Collector.dumps col))
+
+let test_collector_follows_fork () =
+  let forker =
+    unit_ "fk2"
+      [
+        func "child_work" [] [ decl "x" (i 2 *: i 21); ret (v "x") ];
+        func "main" []
+          [
+            decl "pid" (call "fork" []);
+            when_ (v "pid" ==: i 0) [ ret (call "child_work" []) ];
+            ret0;
+          ];
+      ]
+  in
+  let m, _, col = boot_traced forker in
+  let (_ : _) = Machine.run m ~max_cycles:100_000 in
+  let log = Collector.detach col in
+  let exe = Crt0.link_app ~libc forker in
+  let cw = Option.get (Self.find_symbol exe "child_work") in
+  Alcotest.(check bool) "child-only code traced" true
+    (List.exists (fun (b : Drcov.bb) -> b.Drcov.bb_off = cw.Self.sym_off) log.Drcov.bbs)
+
+let test_covgraph_of_log () =
+  let g = Covgraph.of_log sample_log in
+  Alcotest.(check int) "cardinality" 3 (Covgraph.cardinal g);
+  Alcotest.(check bool) "member" true (Covgraph.mem_off g ~module_:"app" ~off:0x100);
+  Alcotest.(check bool) "nonmember" false (Covgraph.mem_off g ~module_:"app" ~off:0x101)
+
+let suite =
+  [
+    Alcotest.test_case "drcov roundtrip" `Quick test_drcov_roundtrip;
+    QCheck_alcotest.to_alcotest prop_drcov_roundtrip;
+    Alcotest.test_case "drcov covered bytes" `Quick test_drcov_covered_bytes;
+    Alcotest.test_case "collector dedups blocks" `Quick test_collector_dedup;
+    Alcotest.test_case "collector module attribution" `Quick test_collector_module_attribution;
+    Alcotest.test_case "nudge resets the cache" `Quick test_collector_nudge_resets;
+    Alcotest.test_case "collector follows fork" `Quick test_collector_follows_fork;
+    Alcotest.test_case "covgraph from log" `Quick test_covgraph_of_log;
+  ]

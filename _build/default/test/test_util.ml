@@ -1,0 +1,156 @@
+(** Unit + property tests for the util substrate: byte codecs,
+    s-expressions, tables, PRNG, stats. *)
+
+(* ---------- Bytesx ---------- *)
+
+let prop_u64_roundtrip =
+  QCheck.Test.make ~name:"bytesx u64 roundtrip" ~count:500
+    QCheck.(map Int64.of_int int)
+    (fun v ->
+      let b = Bytesx.W.create () in
+      Bytesx.W.u64 b v;
+      Bytesx.R.u64 (Bytesx.R.of_string (Bytesx.W.contents b)) = v)
+
+let prop_lstring_roundtrip =
+  QCheck.Test.make ~name:"bytesx lstring roundtrip" ~count:300 QCheck.string (fun s ->
+      let b = Bytesx.W.create () in
+      Bytesx.W.lstring b s;
+      Bytesx.R.lstring (Bytesx.R.of_string (Bytesx.W.contents b)) = s)
+
+let prop_mixed_fields =
+  QCheck.Test.make ~name:"bytesx mixed field sequence" ~count:300
+    QCheck.(triple small_nat string (map Int64.of_int int))
+    (fun (a, s, v) ->
+      let b = Bytesx.W.create () in
+      Bytesx.W.u32 b a;
+      Bytesx.W.lstring b s;
+      Bytesx.W.u64 b v;
+      Bytesx.W.u8 b 0xAB;
+      let r = Bytesx.R.of_string (Bytesx.W.contents b) in
+      Bytesx.R.u32 r = a land 0xffffffff
+      && Bytesx.R.lstring r = s
+      && Bytesx.R.u64 r = v
+      && Bytesx.R.u8 r = 0xAB
+      && Bytesx.R.eof r)
+
+let test_truncated_raises () =
+  let r = Bytesx.R.of_string "ab" in
+  Alcotest.check_raises "u64 on 2 bytes"
+    (Bytesx.Truncated "u8: need 1 bytes, have 0")
+    (fun () ->
+      ignore (Bytesx.R.u8 r);
+      ignore (Bytesx.R.u8 r);
+      ignore (Bytesx.R.u8 r))
+
+(* ---------- Sexpr ---------- *)
+
+let gen_sexpr : Sexpr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    map (fun s -> Sexpr.Atom s)
+      (oneof
+         [
+           string_size ~gen:(char_range 'a' 'z') (int_range 1 8);
+           return "with space";
+           return "quo\"te";
+           return "back\\slash";
+           return "new\nline";
+           map string_of_int int;
+         ])
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then atom
+         else
+           frequency
+             [
+               (2, atom);
+               (1, map (fun l -> Sexpr.List l) (list_size (int_range 0 4) (self (n / 2))));
+             ]))
+
+let prop_sexpr_roundtrip =
+  QCheck.Test.make ~name:"sexpr print/parse roundtrip" ~count:500
+    (QCheck.make ~print:Sexpr.to_string gen_sexpr)
+    (fun sx -> Sexpr.of_string (Sexpr.to_string sx) = sx)
+
+let test_sexpr_parse_comments () =
+  let sx = Sexpr.of_string "; header\n(a ; inline\n b)" in
+  Alcotest.(check bool) "parsed" true (sx = Sexpr.List [ Sexpr.Atom "a"; Sexpr.Atom "b" ])
+
+let test_sexpr_get_field () =
+  let sx = Sexpr.of_string "(rec (pid 42) (name web))" in
+  Alcotest.(check int) "pid" 42 (Sexpr.as_int (Option.get (Sexpr.get_field "pid" sx)));
+  Alcotest.(check string) "name" "web"
+    (Sexpr.as_atom (Option.get (Sexpr.get_field "name" sx)));
+  Alcotest.(check bool) "missing" true (Sexpr.get_field "nope" sx = None)
+
+let test_sexpr_trailing_garbage () =
+  Alcotest.check_raises "garbage" (Sexpr.Parse_error "trailing garbage") (fun () ->
+      ignore (Sexpr.of_string "(a) b"))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_i64 a) (Rng.next_i64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different" true (Rng.next_i64 a <> Rng.next_i64 b)
+
+(* ---------- Table ---------- *)
+
+let test_table_render_alignment () =
+  let t = Table.render ~headers:[ "name"; "value" ] [ [ "x"; "1" ]; [ "longer"; "22" ] ] in
+  let lines = String.split_on_char '\n' t in
+  let widths = List.map String.length (List.filter (fun l -> l <> "") lines) in
+  match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "equal widths" w w') rest
+  | [] -> Alcotest.fail "empty table"
+
+let test_human_bytes () =
+  Alcotest.(check string) "bytes" "512B" (Table.human_bytes 512);
+  Alcotest.(check string) "kb" "2.5KB" (Table.human_bytes 2560);
+  Alcotest.(check string) "mb" "2.00MB" (Table.human_bytes (2 * 1024 * 1024))
+
+(* ---------- Stats ---------- *)
+
+let test_stats_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1. (Stats.stddev [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "single" 0. (Stats.stddev [ 5. ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Stats.mean [])
+
+let test_stats_percentile () =
+  let xs = List.init 101 float_of_int in
+  Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile 50. xs);
+  Alcotest.(check (float 1e-9)) "p0" 0. (Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile 100. xs)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_u64_roundtrip;
+    QCheck_alcotest.to_alcotest prop_lstring_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mixed_fields;
+    Alcotest.test_case "truncated read raises" `Quick test_truncated_raises;
+    QCheck_alcotest.to_alcotest prop_sexpr_roundtrip;
+    Alcotest.test_case "sexpr comments" `Quick test_sexpr_parse_comments;
+    Alcotest.test_case "sexpr get_field" `Quick test_sexpr_get_field;
+    Alcotest.test_case "sexpr trailing garbage" `Quick test_sexpr_trailing_garbage;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_changes_stream;
+    Alcotest.test_case "table alignment" `Quick test_table_render_alignment;
+    Alcotest.test_case "human bytes" `Quick test_human_bytes;
+    Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+  ]
