@@ -138,7 +138,16 @@ let cut_cmd =
     let doc = "Re-enable the feature afterwards and probe again." in
     Arg.(value & flag & info [ "reenable" ] ~doc)
   in
-  let action app feature probes reenable =
+  let inject_fault =
+    let doc =
+      "Arm a deterministic fault at a pipeline site before cutting \
+       (repeatable). $(docv) is SITE[:once|nth=N|p=F][:transient], e.g. \
+       'criu.save', 'restore.tcp_repair:nth=2', 'rewrite.patch:once:transient'. \
+       Known sites are printed in the fault report after the run."
+    in
+    Arg.(value & opt_all string [] & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
+  in
+  let action app feature probes reenable faults =
     let app = find_app app in
     let blocks, redirect =
       match (app.Workload.a_name, feature) with
@@ -151,31 +160,56 @@ let cut_cmd =
           Printf.eprintf "no feature %S for %s\n" feature app.Workload.a_name;
           exit 2
     in
+    Fault.reset ();
+    List.iter
+      (fun spec_str ->
+        try
+          let site, spec, transient = Fault.parse_spec spec_str in
+          Fault.arm ~transient site spec
+        with Invalid_argument e ->
+          Printf.eprintf "bad --inject-fault %S: %s\n" spec_str e;
+          exit 2)
+      faults;
     let c = Workload.spawn app in
     Workload.wait_ready c;
     let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
-    let journals, t =
-      Dynacut.cut session ~blocks
+    let r =
+      Dynacut.try_cut session ~blocks
         ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
+        ()
     in
-    Format.printf "cut %d blocks: %a@." (List.length blocks) Dynacut.pp_timings t;
+    Format.printf "cut %d blocks: %a (%a)@." (List.length blocks)
+      Dynacut.pp_outcome r.Dynacut.r_outcome Dynacut.pp_timings
+      r.Dynacut.r_timings;
+    if r.Dynacut.r_retries > 0 then
+      Format.printf "retries: %d (%d backoff cycles)@." r.Dynacut.r_retries
+        r.Dynacut.r_backoff_cycles;
     List.iter
-      (fun r ->
-        let r = Scanf.unescaped r in
-        Printf.printf ">> %S\n<< %S\n" r (Workload.rpc c r))
+      (fun req ->
+        let req = Scanf.unescaped req in
+        Printf.printf ">> %S\n<< %S\n" req (Workload.rpc c req))
       probes;
-    if reenable then begin
-      let t = Dynacut.reenable session journals in
+    let rolled_back =
+      match r.Dynacut.r_outcome with `Rolled_back _ -> true | _ -> false
+    in
+    if reenable && not rolled_back then begin
+      let t = Dynacut.reenable session r.Dynacut.r_journals in
       Format.printf "re-enabled: %a@." Dynacut.pp_timings t;
       List.iter
-        (fun r ->
-          let r = Scanf.unescaped r in
-          Printf.printf ">> %S\n<< %S\n" r (Workload.rpc c r))
+        (fun req ->
+          let req = Scanf.unescaped req in
+          Printf.printf ">> %S\n<< %S\n" req (Workload.rpc c req))
         probes
-    end
+    end;
+    if faults <> [] then print_endline (Fault.report ());
+    (* exit 0: cut applied (possibly degraded); exit 3: transaction rolled
+       back — target untouched and still serving *)
+    if rolled_back then exit 3
   in
   let doc = "Dynamically disable a feature of a running server, then probe it." in
-  Cmd.v (Cmd.info "cut" ~doc) Term.(const action $ app_arg $ feature $ probe $ reenable)
+  Cmd.v
+    (Cmd.info "cut" ~doc)
+    Term.(const action $ app_arg $ feature $ probe $ reenable $ inject_fault)
 
 (* ---------- crit ---------- *)
 

@@ -81,22 +81,48 @@ let tree_pids (s : session) : int list =
   descendants s.root_pid
 
 let image_path s pid = Printf.sprintf "%s/dump-%d.img" s.tmpfs pid
+let pristine_path s pid = Printf.sprintf "%s/pristine-%d.img" s.tmpfs pid
 
 let load_image s pid : Images.t =
-  match Vfs.find s.machine.Machine.fs (image_path s pid) with
-  | Some blob -> Images.decode blob
-  | None -> raise (Dynacut_error (Printf.sprintf "no image for pid %d" pid))
+  try Restore.load_from_tmpfs s.machine ~path:(image_path s pid)
+  with Restore.Restore_error _ ->
+    raise (Dynacut_error (Printf.sprintf "no image for pid %d" pid))
 
 let store_image s (img : Images.t) : unit =
-  Vfs.add s.machine.Machine.fs (image_path s img.Images.core.Images.c_pid)
-    (Images.encode img)
+  ignore (Checkpoint.save_to_tmpfs s.machine ~dir:s.tmpfs img)
 
-(* stage 1: freeze the tree and checkpoint every process into tmpfs *)
+(* the pristine copy is the transaction's rollback anchor; it is written
+   outside the criu.save fault site so an injected serialization fault
+   cannot take the safety net with it *)
+let save_pristine s (img : Images.t) : unit =
+  Vfs.add s.machine.Machine.fs
+    (pristine_path s img.Images.core.Images.c_pid)
+    (Validate.encode_sealed img)
+
+let load_pristine s pid : Images.t =
+  match Vfs.find s.machine.Machine.fs (pristine_path s pid) with
+  | Some blob -> Validate.decode_sealed blob
+  | None -> raise (Dynacut_error (Printf.sprintf "no pristine image for pid %d" pid))
+
+(* put the working images back to their pre-edit state (retries must not
+   see a half-patched image: disable_first_byte would journal 0xCC as the
+   original byte) *)
+let reset_working s pids =
+  List.iter
+    (fun pid ->
+      match Vfs.find s.machine.Machine.fs (pristine_path s pid) with
+      | Some blob -> Vfs.add s.machine.Machine.fs (image_path s pid) blob
+      | None -> ())
+    pids
+
+(* stage 1: freeze the tree and checkpoint every process into tmpfs,
+   keeping a pristine copy of each image for rollback *)
 let stage_checkpoint s pids =
   List.iter (fun pid -> Machine.freeze s.machine ~pid) pids;
   List.iter
     (fun pid ->
       let img = Checkpoint.dump s.machine ~pid ~mode:Checkpoint.Dynacut () in
+      save_pristine s img;
       store_image s img)
     pids
 
@@ -199,7 +225,8 @@ let stage_handler s pids ~(blocks : Covgraph.block list) ~on_trap
           if prev <> [] && mode <> s.table_mode then
             raise
               (Dynacut_error
-                 "cannot stack cuts with different trap modes (redirect vs                   verify); re-enable the earlier cut first");
+                 "cannot stack cuts with different trap modes (redirect vs \
+                  verify); re-enable the earlier cut first");
           let merged =
             List.fold_left
               (fun acc (addr, payload) -> (addr, payload) :: List.remove_assoc addr acc)
@@ -249,75 +276,330 @@ let redirect_filter (s : session) ~(sym : string) (blocks : Covgraph.block list)
               && Funcbounds.same_function bounds b.Covgraph.b_off target.Self.sym_off)
             blocks)
 
-(** Disable [blocks] in the target tree under [policy]. Returns per-pid
-    journals (for {!reenable}) and the stage timing breakdown. *)
-let cut (s : session) ~(blocks : Covgraph.block list) ~(policy : policy) :
-    Rewriter.journal list * timings =
-  s.cut_count <- s.cut_count + 1;
+(* the image edits of a re-enable: original bytes back, pages remapped,
+   the journal's entries dropped from the policy table *)
+let reenable_edits s pids (journals : Rewriter.journal list) =
+  List.iter
+    (fun (j : Rewriter.journal) ->
+      match List.find_opt (fun pid -> pid = j.Rewriter.j_pid) pids with
+      | None -> ()
+      | Some pid ->
+          let img = load_image s pid in
+          Rewriter.restore_bytes img j.Rewriter.j_patches;
+          let img = Rewriter.remap img j.Rewriter.j_patches in
+          (* drop only this journal's entries from the policy table;
+             entries from other (still active) cuts remain *)
+          let restored_addrs =
+            List.filter_map
+              (function
+                | Rewriter.Bytes_patch { p_vaddr; _ } -> Some p_vaddr
+                | Rewriter.Unmap_patch _ -> None)
+              j.Rewriter.j_patches
+          in
+          let remaining =
+            List.filter
+              (fun (addr, _) -> not (List.mem addr restored_addrs))
+              (Option.value ~default:[] (List.assoc_opt pid s.table))
+          in
+          s.table <- (pid, remaining) :: List.remove_assoc pid s.table;
+          (match
+             ( List.assoc_opt pid s.lib_bases,
+               Rewriter.module_base img s.handler_lib.Self.name )
+           with
+          | Some base, Some _ ->
+              let mode =
+                if remaining = [] then Handler.mode_terminate else s.table_mode
+              in
+              Inject.write_policy img ~lib:s.handler_lib ~base ~mode
+                ~entries:remaining
+          | _ -> ());
+          store_image s img)
+    journals
+
+(* ---------- the transaction ---------- *)
+
+(* A cut is two phases. Phase A (checkpoint + every image edit) works on
+   static images only: the live tree is frozen but untouched, so a
+   failure there needs no process surgery — reset the working images from
+   the pristine copies, restore the session bookkeeping, thaw. Phase B
+   (restore) replaces processes one by one; a failure there re-restores
+   the already-replaced pids from their pristine images. Either way the
+   invariant holds: the cut is fully applied, or the tree is exactly as
+   it was. *)
+
+type rollback = { rb_stage : string; rb_error : string }
+
+type outcome = [ `Applied | `Degraded | `Rolled_back of rollback ]
+
+type cut_result = {
+  r_journals : Rewriter.journal list;
+  r_timings : timings;
+  r_outcome : outcome;
+  r_retries : int;  (** transient-fault retries spent *)
+  r_backoff_cycles : int;  (** virtual cycles charged as retry backoff *)
+}
+
+let pp_outcome fmt (o : outcome) =
+  match o with
+  | `Applied -> Format.pp_print_string fmt "applied"
+  | `Degraded -> Format.pp_print_string fmt "applied degraded (first-byte fallback)"
+  | `Rolled_back { rb_stage; rb_error } ->
+      Format.fprintf fmt "rolled back at %s: %s" rb_stage rb_error
+
+exception Stage_failed of string * exn
+
+(* the pipeline's failure domain; anything outside it is a host bug and
+   propagates untouched *)
+let guard stage f =
+  try f ()
+  with
+  | ( Fault.Injected _ | Dynacut_error _ | Rewriter.Rewrite_error _
+    | Inject.Inject_error _ | Restore.Restore_error _
+    | Validate.Validate_error _ | Images.Format_error _ | Invalid_argument _
+    | Not_found ) as e
+  ->
+    raise (Stage_failed (stage, e))
+
+let describe_exn = function
+  | Fault.Injected { site; _ } -> Printf.sprintf "injected fault at %s" site
+  | Dynacut_error e -> e
+  | Rewriter.Rewrite_error e -> "rewrite: " ^ e
+  | Inject.Inject_error e -> "inject: " ^ e
+  | Restore.Restore_error e -> "restore: " ^ e
+  | Validate.Validate_error e -> "validate: " ^ e
+  | Images.Format_error e -> "image format: " ^ e
+  | e -> Printexc.to_string e
+
+let snapshot_state s = (s.lib_bases, s.cut_count, s.table_mode, s.table)
+
+let restore_state s (lib_bases, cut_count, table_mode, table) =
+  s.lib_bases <- lib_bases;
+  s.cut_count <- cut_count;
+  s.table_mode <- table_mode;
+  s.table <- table
+
+let thaw_all s pids = List.iter (fun pid -> Machine.thaw s.machine ~pid) pids
+
+let default_max_retries = 2
+
+let is_prefix pre str =
+  String.length str >= String.length pre
+  && String.sub str 0 (String.length pre) = pre
+
+(* a failure is worth retrying if the injected fault was flagged
+   transient, or its site falls in a caller-configured retry class
+   (prefix match, e.g. "criu." or "restore.tcp_repair") *)
+let is_transient ~retry_classes = function
+  | Stage_failed (_, Fault.Injected { site; transient }) ->
+      transient || List.exists (fun c -> is_prefix c site) retry_classes
+  | _ -> false
+
+(* capped exponential backoff between retries, charged to the virtual
+   clock — the tree is frozen, so only time moves *)
+let do_backoff s ~attempt =
+  let cycles = min (1 lsl attempt) 64 * 1_000 in
+  s.machine.Machine.clock <- Int64.add s.machine.Machine.clock (Int64.of_int cycles);
+  cycles
+
+(* Phase B: replace the live processes with the rewritten images. On any
+   failure, every pid is reverted to its pristine image — the already-
+   replaced ones (and the half-restored victim) re-restored, the not-yet-
+   touched ones merely thawed — under fault suppression so the unwind
+   cannot itself be injected. *)
+let commit_restore s pids =
+  let replaced = ref [] in
+  try
+    List.iter
+      (fun pid ->
+        guard "restore" (fun () ->
+            Machine.reap s.machine ~pid;
+            let p = Restore.restore s.machine (load_image s pid) in
+            p.Proc.frozen <- false;
+            replaced := pid :: !replaced))
+      pids
+  with Stage_failed _ as failure ->
+    Fault.suppressed (fun () ->
+        List.iter
+          (fun pid ->
+            let untouched =
+              (not (List.mem pid !replaced))
+              &&
+              match Machine.proc s.machine pid with
+              | Some p -> Proc.is_live p
+              | None -> false
+            in
+            if not untouched then begin
+              Machine.reap s.machine ~pid;
+              let p = Restore.restore s.machine (load_pristine s pid) in
+              p.Proc.frozen <- false
+            end)
+          pids);
+    raise failure
+
+(* the engine shared by cut and re-enable. [attempts] is the edit phase:
+   the primary method first, then any degraded fallbacks; each returns
+   (journals, t_disable, t_handler) and works purely on the tmpfs
+   images. *)
+let run_transaction s ~pids ~max_retries ~retry_classes
+    ~(attempts : (unit -> Rewriter.journal list * float * float) list) :
+    cut_result =
+  let saved = snapshot_state s in
+  let retries = ref 0 and backoff_total = ref 0 in
+  let zero = { t_checkpoint = 0.; t_disable = 0.; t_handler = 0.; t_restore = 0. } in
+  let finish_rollback stage e t =
+    restore_state s saved;
+    reset_working s pids;
+    thaw_all s pids;
+    {
+      r_journals = [];
+      r_timings = t;
+      r_outcome = `Rolled_back { rb_stage = stage; rb_error = describe_exn e };
+      r_retries = !retries;
+      r_backoff_cycles = !backoff_total;
+    }
+  in
+  (* retry [step] while its failure is transient and retry budget
+     remains; both the checkpoint and the commit are individually
+     retryable — checkpointing is idempotent, and the commit's own
+     unwind leaves the tree restartable from the working images *)
+  let rec with_retries step =
+    match step () with
+    | r -> `Ok r
+    | exception (Stage_failed (stage, e) as failure) ->
+        if is_transient ~retry_classes failure && !retries < max_retries then begin
+          incr retries;
+          backoff_total := !backoff_total + do_backoff s ~attempt:!retries;
+          with_retries step
+        end
+        else `Failed (stage, e)
+  in
+  match
+    with_retries (fun () ->
+        Stats.time_it (fun () -> guard "checkpoint" (fun () -> stage_checkpoint s pids)))
+  with
+  | `Failed (stage, e) -> finish_rollback stage e zero
+  | `Ok ((), t_checkpoint) -> (
+      let degraded = ref false in
+      let reset_attempt () =
+        restore_state s saved;
+        reset_working s pids
+      in
+      let rec edit = function
+        | [] -> assert false
+        | att :: rest -> (
+            match att () with
+            | r -> `Ok r
+            | exception (Stage_failed (stage, e) as failure) ->
+                reset_attempt ();
+                if is_transient ~retry_classes failure && !retries < max_retries
+                then begin
+                  incr retries;
+                  backoff_total := !backoff_total + do_backoff s ~attempt:!retries;
+                  edit (att :: rest)
+                end
+                else if rest <> [] then begin
+                  degraded := true;
+                  edit rest
+                end
+                else `Failed (stage, e))
+      in
+      match edit attempts with
+      | `Failed (stage, e) -> finish_rollback stage e { zero with t_checkpoint }
+      | `Ok (journals, t_disable, t_handler) -> (
+          match with_retries (fun () -> Stats.time_it (fun () -> commit_restore s pids)) with
+          | `Failed (stage, e) ->
+              finish_rollback stage e
+                { t_checkpoint; t_disable; t_handler; t_restore = 0. }
+          | `Ok ((), t_restore) ->
+              {
+                r_journals = journals;
+                r_timings = { t_checkpoint; t_disable; t_handler; t_restore };
+                r_outcome = (if !degraded then `Degraded else `Applied);
+                r_retries = !retries;
+                r_backoff_cycles = !backoff_total;
+              }))
+
+(** Disable [blocks] under [policy] as a transaction: any failure —
+    including an injected fault at any pipeline site — rolls the tree
+    back to its pre-cut state. Faults marked transient (or matching
+    [retry_classes], a list of site prefixes) are retried up to
+    [max_retries] times with capped backoff; with [degrade] set, an
+    [`Unmap_pages] cut that keeps failing falls back to [`First_byte]
+    before giving up. *)
+let try_cut (s : session) ?(max_retries = default_max_retries)
+    ?(retry_classes = []) ?(degrade = false) ~(blocks : Covgraph.block list)
+    ~(policy : policy) () : cut_result =
   let blocks =
     match policy.on_trap with
     | `Redirect sym -> redirect_filter s ~sym blocks
     | `Kill | `Terminate | `Verify -> blocks
   in
   let pids = tree_pids s in
-  let (), t_checkpoint = Stats.time_it (fun () -> stage_checkpoint s pids) in
-  let journals, t_disable =
-    Stats.time_it (fun () -> stage_disable s pids ~blocks ~method_:policy.method_)
+  let attempt method_ () =
+    s.cut_count <- s.cut_count + 1;
+    let journals, t_disable =
+      Stats.time_it (fun () ->
+          guard "rewrite" (fun () -> stage_disable s pids ~blocks ~method_))
+    in
+    let (), t_handler =
+      Stats.time_it (fun () ->
+          guard "inject" (fun () ->
+              stage_handler s pids ~blocks ~on_trap:policy.on_trap ~journals))
+    in
+    (* never commit an image the validator rejects *)
+    guard "validate" (fun () ->
+        List.iter (fun pid -> Validate.check (load_image s pid)) pids);
+    (journals, t_disable, t_handler)
   in
-  let (), t_handler =
-    Stats.time_it (fun () ->
-        stage_handler s pids ~blocks ~on_trap:policy.on_trap ~journals)
+  let attempts =
+    match (policy.method_, degrade) with
+    | `Unmap_pages, true -> [ attempt `Unmap_pages; attempt `First_byte ]
+    | m, _ -> [ attempt m ]
   in
-  let (), t_restore = Stats.time_it (fun () -> stage_restore s pids) in
-  (journals, { t_checkpoint; t_disable; t_handler; t_restore })
+  run_transaction s ~pids ~max_retries ~retry_classes ~attempts
 
-(** Restore previously disabled features from their journals: replace the
-    [int3] bytes with the original instruction bytes and remap any
-    unmapped pages (§3.2.2's bidirectional transformation). *)
-let reenable (s : session) (journals : Rewriter.journal list) : timings =
+(** Restore previously disabled features from their journals (§3.2.2's
+    bidirectional transformation), with the same transactional
+    guarantees as {!try_cut}. *)
+let try_reenable (s : session) ?(max_retries = default_max_retries)
+    ?(retry_classes = []) (journals : Rewriter.journal list) : cut_result =
   let pids = tree_pids s in
-  let (), t_checkpoint = Stats.time_it (fun () -> stage_checkpoint s pids) in
-  let (), t_disable =
-    Stats.time_it (fun () ->
-        List.iter
-          (fun (j : Rewriter.journal) ->
-            match List.find_opt (fun pid -> pid = j.Rewriter.j_pid) pids with
-            | None -> ()
-            | Some pid ->
-                let img = load_image s pid in
-                Rewriter.restore_bytes img j.Rewriter.j_patches;
-                let img = Rewriter.remap img j.Rewriter.j_patches in
-                (* drop only this journal's entries from the policy table;
-                   entries from other (still active) cuts remain *)
-                let restored_addrs =
-                  List.filter_map
-                    (function
-                      | Rewriter.Bytes_patch { p_vaddr; _ } -> Some p_vaddr
-                      | Rewriter.Unmap_patch _ -> None)
-                    j.Rewriter.j_patches
-                in
-                let remaining =
-                  List.filter
-                    (fun (addr, _) -> not (List.mem addr restored_addrs))
-                    (Option.value ~default:[] (List.assoc_opt pid s.table))
-                in
-                s.table <- (pid, remaining) :: List.remove_assoc pid s.table;
-                (match
-                   ( List.assoc_opt pid s.lib_bases,
-                     Rewriter.module_base img s.handler_lib.Self.name )
-                 with
-                | Some base, Some _ ->
-                    let mode =
-                      if remaining = [] then Handler.mode_terminate else s.table_mode
-                    in
-                    Inject.write_policy img ~lib:s.handler_lib ~base ~mode
-                      ~entries:remaining
-                | _ -> ());
-                store_image s img)
-          journals)
+  let attempt () =
+    let (), t_disable =
+      Stats.time_it (fun () ->
+          guard "rewrite" (fun () -> reenable_edits s pids journals))
+    in
+    guard "validate" (fun () ->
+        List.iter (fun pid -> Validate.check (load_image s pid)) pids);
+    ([], t_disable, 0.)
   in
-  let (), t_restore = Stats.time_it (fun () -> stage_restore s pids) in
-  { t_checkpoint; t_disable; t_handler = 0.; t_restore }
+  run_transaction s ~pids ~max_retries ~retry_classes ~attempts:[ attempt ]
+
+(** Disable [blocks] in the target tree under [policy]. Returns per-pid
+    journals (for {!reenable}) and the stage timing breakdown. Raises
+    {!Dynacut_error} if the transaction rolled back (the tree is then
+    unchanged and still serving). *)
+let cut (s : session) ~(blocks : Covgraph.block list) ~(policy : policy) :
+    Rewriter.journal list * timings =
+  let r = try_cut s ~blocks ~policy () in
+  match r.r_outcome with
+  | `Applied | `Degraded -> (r.r_journals, r.r_timings)
+  | `Rolled_back { rb_stage; rb_error } ->
+      raise
+        (Dynacut_error
+           (Printf.sprintf "cut rolled back at %s stage: %s" rb_stage rb_error))
+
+(** Restore a previous cut's features; raises {!Dynacut_error} if the
+    transaction rolled back. *)
+let reenable (s : session) (journals : Rewriter.journal list) : timings =
+  let r = try_reenable s journals in
+  match r.r_outcome with
+  | `Applied | `Degraded -> r.r_timings
+  | `Rolled_back { rb_stage; rb_error } ->
+      raise
+        (Dynacut_error
+           (Printf.sprintf "re-enable rolled back at %s stage: %s" rb_stage
+              rb_error))
 
 (** Install a seccomp-style syscall denylist across the tree via image
     rewriting (paper §5): after initialization a server no longer needs

@@ -70,18 +70,76 @@ val redirect_filter :
   session -> sym:string -> Covgraph.block list -> Covgraph.block list
 (** The same-function restriction applied by [cut] under [`Redirect]. *)
 
+(** {2 Transactional cut pipeline}
+
+    A cut (or re-enable) is a two-phase transaction over the static
+    images: phase A freezes the tree, checkpoints every process (keeping
+    a pristine copy of each image) and performs all edits on the tmpfs
+    images; phase B replaces the live processes. Any failure in either
+    phase — including a fault injected at any {!Fault.site} — rolls the
+    tree back to its pre-cut state: the invariant is {e cut fully
+    applied, or process tree unchanged}. *)
+
+type rollback = { rb_stage : string; rb_error : string }
+(** Where a rolled-back transaction failed: the stage name
+    ([checkpoint] / [rewrite] / [inject] / [validate] / [restore]) and a
+    human-readable description of the original error. *)
+
+type outcome =
+  [ `Applied  (** the requested cut is live *)
+  | `Degraded  (** applied, but via the [`First_byte] fallback *)
+  | `Rolled_back of rollback  (** tree unchanged, still serving *) ]
+
+type cut_result = {
+  r_journals : Rewriter.journal list;
+      (** per-pid undo journals; empty on rollback *)
+  r_timings : timings;
+  r_outcome : outcome;
+  r_retries : int;  (** transient-fault retries spent *)
+  r_backoff_cycles : int;  (** virtual cycles charged as retry backoff *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val try_cut :
+  session ->
+  ?max_retries:int ->
+  ?retry_classes:string list ->
+  ?degrade:bool ->
+  blocks:Covgraph.block list ->
+  policy:policy ->
+  unit ->
+  cut_result
+(** Disable [blocks] across the tree as a transaction: freeze,
+    checkpoint to tmpfs, rewrite the images, inject/update the handler,
+    validate, restore. On success the live processes keep their pids,
+    memory and TCP connections; on failure the tree is rolled back and
+    [r_outcome] reports the failing stage. Failures whose fault is
+    flagged transient — or whose site matches a prefix in
+    [retry_classes], e.g. ["criu."] — are retried up to [max_retries]
+    times (default 2) with capped exponential backoff charged to the
+    virtual clock. With [degrade] set, an [`Unmap_pages] cut that keeps
+    failing falls back to [`First_byte] and reports [`Degraded]. *)
+
+val try_reenable :
+  session ->
+  ?max_retries:int ->
+  ?retry_classes:string list ->
+  Rewriter.journal list ->
+  cut_result
+(** Restore a previous cut (original bytes back, pages remapped, policy
+    entries removed) with the same transactional guarantees. *)
+
 val cut :
   session ->
   blocks:Covgraph.block list ->
   policy:policy ->
   Rewriter.journal list * timings
-(** Disable [blocks] across the tree: freeze, checkpoint to tmpfs,
-    rewrite the images, inject/update the handler, restore. The live
-    processes keep their pids, memory and TCP connections. *)
+(** [try_cut] with defaults; raises {!Dynacut_error} if the transaction
+    rolled back (the tree is then unchanged and still serving). *)
 
 val reenable : session -> Rewriter.journal list -> timings
-(** Restore a previous cut: original bytes back, pages remapped, policy
-    table emptied. *)
+(** [try_reenable] with defaults; raises {!Dynacut_error} on rollback. *)
 
 val apply_seccomp : session -> denied:int list option -> timings
 (** Install ([Some denylist]) or clear ([None]) a syscall filter across

@@ -58,6 +58,7 @@ let block_vaddr img (b : Covgraph.block) : int64 =
     cheapest policy — enough to block a feature entered through its
     unique first block, §3.2.2). *)
 let disable_first_byte (img : Images.t) (blocks : Covgraph.block list) : patch list =
+  Fault.site "rewrite.patch";
   List.map
     (fun b ->
       let va = block_vaddr img b in
@@ -74,6 +75,7 @@ let disable_first_byte (img : Images.t) (blocks : Covgraph.block list) : patch l
 (** Wipe every byte of each block with [int3] — the aggressive policy
     that also defeats code-reuse (ROP) on the disabled feature. *)
 let wipe_blocks (img : Images.t) (blocks : Covgraph.block list) : patch list =
+  Fault.site "rewrite.patch";
   List.map
     (fun b ->
       let va = block_vaddr img b in
@@ -96,6 +98,7 @@ let page_base (a : int64) = Int64.mul (Int64.div a 4096L) 4096L
     for restore. *)
 let unmap_block_pages (img : Images.t) (blocks : Covgraph.block list) :
     patch list * Images.t =
+  Fault.site "rewrite.unmap";
   (* bytes of each page covered by any block *)
   let coverage : (int64, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -212,18 +215,36 @@ let remap (img : Images.t) (patches : patch list) : Images.t =
       match p with
       | Bytes_patch _ -> img
       | Unmap_patch { u_vma; u_pages } ->
-          let page_bytes = List.fold_left (fun a (_, d) -> a + Bytes.length d) 0 u_pages in
-          ignore page_bytes;
-          let mm = img.Images.mm @ [ u_vma ] in
+          (* drop the split fragments (and, when several patches share one
+             original row, an already re-added copy) that fall inside the
+             original VMA's range, then re-add the whole row — otherwise the
+             mm list ends up with overlapping entries and the restored
+             process double-maps those pages *)
+          let u_end = Int64.add u_vma.Images.vi_start (Int64.of_int u_vma.Images.vi_len) in
+          let survivors =
+            List.filter
+              (fun (v : Images.vma_img) ->
+                not
+                  (v.Images.vi_name = u_vma.Images.vi_name
+                  && v.Images.vi_start >= u_vma.Images.vi_start
+                  && Int64.add v.Images.vi_start (Int64.of_int v.Images.vi_len) <= u_end))
+              img.Images.mm
+          in
+          let mm = survivors @ [ u_vma ] in
           let mm = List.sort (fun a b -> compare a.Images.vi_start b.Images.vi_start) mm in
           let pages_off = Bytes.length img.Images.pages in
           let extra = Buffer.create 4096 in
           let new_entries =
-            List.map
+            List.filter_map
               (fun (va, data) ->
-                let off = pages_off + Buffer.length extra in
-                Buffer.add_bytes extra data;
-                { Images.pm_vaddr = va; pm_npages = Bytes.length data / page_size; pm_off = off })
+                (* pages that were unmapped while undumped come back unpopulated *)
+                if Bytes.length data < page_size then None
+                else begin
+                  let off = pages_off + Buffer.length extra in
+                  Buffer.add_bytes extra data;
+                  Some
+                    { Images.pm_vaddr = va; pm_npages = Bytes.length data / page_size; pm_off = off }
+                end)
               u_pages
           in
           {

@@ -21,6 +21,7 @@ let dump_vma_pages ~mode (v : Mem.vma) =
     ({!Machine.freeze}); dumping a running process would be racy on a
     real system — here we just require quiescence by convention. *)
 let dump (m : Machine.t) ~(pid : int) ?(mode = Dynacut) () : Images.t =
+  Fault.site "criu.checkpoint";
   let p = Machine.proc_exn m pid in
   let mem = p.Proc.mem in
   let mm =
@@ -147,8 +148,11 @@ let dump_tree (m : Machine.t) ~(root : int) ?(mode = Dynacut) () : Images.t list
   List.map (fun pid -> dump m ~pid ~mode ()) (descendants root)
 
 (** Serialize into the machine's tmpfs (paper §3.3 checkpoints into a
-    tmpfs to keep rewrite latency off the disk). Returns the file path. *)
+    tmpfs to keep rewrite latency off the disk). The blob carries
+    {!Validate}'s checksum seal so truncation or corruption is caught at
+    load. Returns the file path. *)
 let save_to_tmpfs (m : Machine.t) ~(dir : string) (img : Images.t) : string =
+  Fault.site "criu.save";
   let path = Printf.sprintf "%s/dump-%d.img" dir img.Images.core.Images.c_pid in
-  Vfs.add m.Machine.fs path (Images.encode img);
+  Vfs.add m.Machine.fs path (Validate.encode_sealed img);
   path

@@ -29,6 +29,7 @@ let file_bytes (m : Machine.t) ~path ~off ~len : bytes =
       out
 
 let restore (m : Machine.t) (img : Images.t) : Proc.t =
+  Fault.site "restore.process";
   let core = img.Images.core in
   (match Machine.proc m core.Images.c_pid with
   | Some p when Proc.is_live p ->
@@ -108,7 +109,9 @@ let restore (m : Machine.t) (img : Images.t) : Proc.t =
   p.Proc.seccomp <- core.Images.c_seccomp;
   (* TCP repair *)
   List.iter
-    (fun (s : Net.conn_snapshot) -> ignore (Net.repair_conn m.Machine.net s))
+    (fun (s : Net.conn_snapshot) ->
+      Fault.site "restore.tcp_repair";
+      ignore (Net.repair_conn m.Machine.net s))
     img.Images.tcp;
   (* re-create listeners for listening fds *)
   List.iter
@@ -122,8 +125,15 @@ let restore (m : Machine.t) (img : Images.t) : Proc.t =
   Machine.install m p;
   p
 
-(** Restore from a serialized image in the machine tmpfs. *)
-let restore_from_tmpfs (m : Machine.t) ~(path : string) : Proc.t =
+(** Load and verify a sealed image from the machine tmpfs. Raises
+    {!Validate.Validate_error} if the file is truncated, corrupted, or
+    structurally inconsistent. *)
+let load_from_tmpfs (m : Machine.t) ~(path : string) : Images.t =
+  Fault.site "criu.load";
   match Vfs.find m.Machine.fs path with
   | None -> raise (Restore_error ("no image at " ^ path))
-  | Some blob -> restore m (Images.decode blob)
+  | Some blob -> Validate.decode_sealed blob
+
+(** Restore from a serialized image in the machine tmpfs. *)
+let restore_from_tmpfs (m : Machine.t) ~(path : string) : Proc.t =
+  restore m (load_from_tmpfs m ~path)

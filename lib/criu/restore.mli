@@ -11,4 +11,9 @@ val restore : Machine.t -> Images.t -> Proc.t
     repaired connections, re-registered listeners. Raises
     {!Restore_error} if the pid is still alive. *)
 
+val load_from_tmpfs : Machine.t -> path:string -> Images.t
+(** Load, unseal, and {!Validate.check} an image blob; raises
+    {!Validate.Validate_error} on truncation/corruption and
+    {!Restore_error} if the file is missing. *)
+
 val restore_from_tmpfs : Machine.t -> path:string -> Proc.t

@@ -1,0 +1,172 @@
+(** Integrity checking for checkpoint images.
+
+    The rewriter edits static images; a bug there (or a truncated tmpfs
+    file) would otherwise surface only as a garbage process after
+    restore — the exact availability loss the pipeline exists to avoid.
+    [check] enforces the structural invariants every well-formed
+    {!Images.t} satisfies, and [seal]/[unseal] wrap the binary encoding
+    with a length + FNV-1a checksum header so corruption is caught at
+    load time with a clean {!Validate_error}. *)
+
+exception Validate_error of string
+
+let page_size = Images.page_size
+let page_size64 = Int64.of_int page_size
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Validate_error m)) fmt
+
+let vma_end (v : Images.vma_img) = Int64.add v.Images.vi_start (Int64.of_int v.Images.vi_len)
+
+let check_mm (img : Images.t) =
+  List.iter
+    (fun (v : Images.vma_img) ->
+      if Int64.rem v.Images.vi_start page_size64 <> 0L then
+        fail "vma %s at 0x%Lx not page-aligned" v.Images.vi_name v.Images.vi_start;
+      if v.Images.vi_len <= 0 || v.Images.vi_len mod page_size <> 0 then
+        fail "vma %s at 0x%Lx has bad length %d" v.Images.vi_name v.Images.vi_start
+          v.Images.vi_len)
+    img.Images.mm;
+  let sorted =
+    List.sort (fun a b -> compare a.Images.vi_start b.Images.vi_start) img.Images.mm
+  in
+  let rec overlap = function
+    | a :: (b :: _ as rest) ->
+        if vma_end a > b.Images.vi_start then
+          fail "vmas overlap: %s [0x%Lx,0x%Lx) and %s at 0x%Lx" a.Images.vi_name
+            a.Images.vi_start (vma_end a) b.Images.vi_name b.Images.vi_start;
+        overlap rest
+    | _ -> ()
+  in
+  overlap sorted
+
+let check_pagemap (img : Images.t) =
+  let total = Bytes.length img.Images.pages in
+  List.iter
+    (fun (pm : Images.pagemap_entry) ->
+      if pm.Images.pm_npages < 1 then fail "pagemap run at 0x%Lx empty" pm.Images.pm_vaddr;
+      if Int64.rem pm.Images.pm_vaddr page_size64 <> 0L then
+        fail "pagemap run at 0x%Lx not page-aligned" pm.Images.pm_vaddr;
+      if pm.Images.pm_off < 0 || pm.Images.pm_off + (pm.Images.pm_npages * page_size) > total
+      then
+        fail "pagemap run at 0x%Lx spills out of pages buffer (off %d, %d pages, buf %d)"
+          pm.Images.pm_vaddr pm.Images.pm_off pm.Images.pm_npages total;
+      (* every page of the run must be inside a mapped VMA *)
+      for k = 0 to pm.Images.pm_npages - 1 do
+        let pa = Int64.add pm.Images.pm_vaddr (Int64.of_int (k * page_size)) in
+        if Images.find_vma img pa = None then
+          fail "dumped page 0x%Lx not covered by any vma" pa
+      done)
+    img.Images.pagemap;
+  (* runs must not overlap in virtual address space *)
+  let sorted =
+    List.sort
+      (fun (a : Images.pagemap_entry) b -> compare a.Images.pm_vaddr b.Images.pm_vaddr)
+      img.Images.pagemap
+  in
+  let rec overlap = function
+    | (a : Images.pagemap_entry) :: (b :: _ as rest) ->
+        let a_end = Int64.add a.Images.pm_vaddr (Int64.of_int (a.Images.pm_npages * page_size)) in
+        if a_end > b.Images.pm_vaddr then
+          fail "pagemap runs overlap at 0x%Lx" b.Images.pm_vaddr;
+        overlap rest
+    | _ -> ()
+  in
+  overlap sorted
+
+let check_core (img : Images.t) =
+  let rip = img.Images.core.Images.c_regs.Images.r_rip in
+  (match Images.find_vma img rip with
+  | None -> fail "rip 0x%Lx not inside any mapped vma" rip
+  | Some v ->
+      if not (Self.prot_of_int v.Images.vi_prot).Self.p_x then
+        fail "rip 0x%Lx inside non-executable vma %s" rip v.Images.vi_name);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Images.sigaction_img) ->
+      if s.Images.sg_signum < 1 || s.Images.sg_signum >= Abi.nsig then
+        fail "sigaction for out-of-range signal %d" s.Images.sg_signum;
+      if Hashtbl.mem seen s.Images.sg_signum then
+        fail "duplicate sigaction for signal %d" s.Images.sg_signum;
+      Hashtbl.add seen s.Images.sg_signum ())
+    img.Images.core.Images.c_sigactions
+
+let check_files (img : Images.t) =
+  let f = img.Images.files in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (fd, k) ->
+      if fd < 0 then fail "negative fd %d" fd;
+      if Hashtbl.mem seen fd then fail "duplicate fd %d" fd;
+      Hashtbl.add seen fd ();
+      if fd >= f.Images.f_next_fd then
+        fail "fd %d >= next_fd %d" fd f.Images.f_next_fd;
+      match k with
+      | Images.Fi_listener port when port < -1 -> fail "fd %d: bad listener port %d" fd port
+      | Images.Fi_sock cid when cid < 0 -> fail "fd %d: negative connection id %d" fd cid
+      | Images.Fi_file (_, pos) when pos < 0 -> fail "fd %d: negative file position %d" fd pos
+      | _ -> ())
+    f.Images.f_fds
+
+(** Check all structural invariants of [img]; raises {!Validate_error}
+    naming the first violation. *)
+let check (img : Images.t) : unit =
+  check_mm img;
+  check_pagemap img;
+  check_core img;
+  check_files img
+
+(* ---------- checksum sealing ---------- *)
+
+(* header: magic (5) + u64 payload length + u64 FNV-1a checksum *)
+let seal_magic = "DCCK\x01"
+let header_size = String.length seal_magic + 16
+
+let checksum (s : string) : int64 =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001B3L)
+    s;
+  !h
+
+(** Wrap an encoded image with the checksum header. *)
+let seal (payload : string) : string =
+  let open Bytesx.W in
+  let b = create ~size:(String.length payload + header_size) () in
+  string b seal_magic;
+  int_as_u64 b (String.length payload);
+  u64 b (checksum payload);
+  string b payload;
+  contents b
+
+(** Strip and verify the checksum header. Raises {!Validate_error} on a
+    missing header, a short file, or a checksum mismatch. *)
+let unseal (blob : string) : string =
+  if String.length blob < header_size then fail "image truncated: %d bytes" (String.length blob);
+  if String.sub blob 0 (String.length seal_magic) <> seal_magic then
+    fail "image lacks checksum header";
+  let open Bytesx.R in
+  let r = of_string blob in
+  let (_ : string) = take r (String.length seal_magic) in
+  let len = int_of_u64 r in
+  let sum = u64 r in
+  if len < 0 || len > remaining r then
+    fail "image truncated: header says %d bytes, have %d" len (remaining r);
+  let payload = take r len in
+  if checksum payload <> sum then
+    fail "image checksum mismatch (0x%Lx, expected 0x%Lx)" (checksum payload) sum;
+  payload
+
+(** [seal (Images.encode img)]. *)
+let encode_sealed (img : Images.t) : string = seal (Images.encode img)
+
+(** Unseal, decode, and [check] — the only safe way to load an image
+    from the tmpfs. Decode errors surface as {!Validate_error} too. *)
+let decode_sealed (blob : string) : Images.t =
+  let payload = unseal blob in
+  let img =
+    try Images.decode payload with
+    | Images.Format_error e -> fail "image decode failed: %s" e
+    | Bytesx.Truncated e -> fail "image decode truncated: %s" e
+  in
+  check img;
+  img

@@ -1,0 +1,27 @@
+(** Integrity checking for checkpoint images: structural invariants plus
+    the checksum seal around the tmpfs serialization. Any violation
+    raises {!Validate_error} — never a garbage restore. *)
+
+exception Validate_error of string
+
+val check : Images.t -> unit
+(** Enforce the structural invariants: page-aligned, non-overlapping
+    VMAs; pagemap runs inside both the pages buffer and the VMA set;
+    [rip] inside a mapped executable VMA; sane sigactions and fd table. *)
+
+val checksum : string -> int64
+(** FNV-1a over the payload. *)
+
+val seal : string -> string
+(** Prefix an encoded image with magic + length + checksum. *)
+
+val unseal : string -> string
+(** Verify and strip the seal; raises {!Validate_error} on truncation or
+    corruption. *)
+
+val encode_sealed : Images.t -> string
+(** [seal (Images.encode img)]. *)
+
+val decode_sealed : string -> Images.t
+(** [unseal] + decode + [check]; decode failures are reported as
+    {!Validate_error}. *)

@@ -678,13 +678,21 @@ let run_until t ~max_cycles ~pred =
 
 (* ---------- checkpoint support ---------- *)
 
+(* freeze/thaw/reap are idempotent: the transactional cut pipeline may
+   re-run or unwind any stage, so "already frozen", "already thawed" and
+   "already reaped" must all be harmless no-ops. *)
+
 let freeze t ~pid =
-  match proc t pid with Some p -> p.Proc.frozen <- true | None -> ()
+  match proc t pid with
+  | Some p when Proc.is_live p -> p.Proc.frozen <- true
+  | Some _ | None -> ()
 
 let thaw t ~pid =
   match proc t pid with Some p -> p.Proc.frozen <- false | None -> ()
 
-(** Remove a process (after its image was dumped, before restore). *)
+(** Remove a process (after its image was dumped, before restore). The
+    pid stays in [spawn_order] so a later {!install} keeps its
+    scheduling slot. *)
 let reap t ~pid = Hashtbl.remove t.procs pid
 
 (** Install a restored process object (CRIU restore). *)

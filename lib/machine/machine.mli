@@ -66,12 +66,16 @@ val run_until :
 (** {2 Checkpoint support} *)
 
 val freeze : t -> pid:int -> unit
-(** Exclude from scheduling (CRIU freeze). *)
+(** Exclude from scheduling (CRIU freeze). Idempotent; a no-op on dead
+    or unknown pids, so a rollback can re-freeze blindly. *)
 
 val thaw : t -> pid:int -> unit
+(** Idempotent inverse of {!freeze}; no-op on unknown pids. *)
 
 val reap : t -> pid:int -> unit
-(** Remove a process object (after dumping, before restore). *)
+(** Remove a process object (after dumping, before restore).
+    Idempotent: reaping an already-reaped pid is a no-op, and the pid
+    keeps its scheduling slot for a later {!install}. *)
 
 val install : t -> Proc.t -> unit
 (** Install a restored process (CRIU restore). *)

@@ -1,0 +1,124 @@
+(** Deterministic named-site fault injection.
+
+    Every failure-prone operation in the cut pipeline declares a named
+    site ([Fault.site "criu.save"]); a test (or the CLI's
+    [--inject-fault]) arms a site with a schedule and the next matching
+    hit raises {!Injected} there. Scheduling is driven by {!Rng}, so a
+    chaos run with a fixed seed replays bit-for-bit.
+
+    Sites are global (the pipeline is single-threaded, like the
+    machine): [reset] between tests. Rollback paths run under
+    {!suppressed} so an armed fault cannot re-fire while the transaction
+    is already unwinding. *)
+
+type spec =
+  | One_shot  (** fire on the next hit, then disarm *)
+  | Every_nth of int  (** fire on every [n]-th hit of the site *)
+  | Probability of float  (** fire each hit with probability [p] *)
+
+exception Injected of { site : string; transient : bool }
+(** [transient] marks the fault as retryable — the transaction retries
+    the stage instead of rolling back (capped backoff). *)
+
+type armed = { a_spec : spec; a_transient : bool }
+type counters = { mutable c_hits : int; mutable c_fired : int }
+
+let rng = ref (Rng.create 7)
+let armed_tbl : (string, armed) Hashtbl.t = Hashtbl.create 8
+let stats : (string, counters) Hashtbl.t = Hashtbl.create 16
+let suppress_depth = ref 0
+
+(** Re-seed the fault scheduler (probabilistic specs draw from here). *)
+let seed n = rng := Rng.create n
+
+(** Disarm every site and zero all counters. *)
+let reset () =
+  Hashtbl.reset armed_tbl;
+  Hashtbl.reset stats;
+  suppress_depth := 0;
+  seed 7
+
+let arm ?(transient = false) site spec =
+  (match spec with
+  | Every_nth n when n <= 0 -> invalid_arg "Fault.arm: Every_nth needs n >= 1"
+  | Probability p when not (p >= 0. && p <= 1.) ->
+      invalid_arg "Fault.arm: probability outside [0,1]"
+  | _ -> ());
+  Hashtbl.replace armed_tbl site { a_spec = spec; a_transient = transient }
+
+let disarm site = Hashtbl.remove armed_tbl site
+let armed site = Hashtbl.mem armed_tbl site
+
+let counters_for site =
+  match Hashtbl.find_opt stats site with
+  | Some c -> c
+  | None ->
+      let c = { c_hits = 0; c_fired = 0 } in
+      Hashtbl.add stats site c;
+      c
+
+(** How many times the site was reached / actually fired. *)
+let hits site = match Hashtbl.find_opt stats site with Some c -> c.c_hits | None -> 0
+let fired site = match Hashtbl.find_opt stats site with Some c -> c.c_fired | None -> 0
+
+(** Every site seen or armed so far, sorted. *)
+let sites () =
+  let acc = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace acc k ()) stats;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace acc k ()) armed_tbl;
+  List.sort compare (Hashtbl.fold (fun k () l -> k :: l) acc [])
+
+(** Run [f] with all armed faults masked — the rollback path must not
+    trip over the fault that triggered the rollback. Hit counters still
+    advance. *)
+let suppressed f =
+  incr suppress_depth;
+  Fun.protect ~finally:(fun () -> decr suppress_depth) f
+
+(** Declare a fault site. No-op unless the site is armed. *)
+let site name =
+  let c = counters_for name in
+  c.c_hits <- c.c_hits + 1;
+  if !suppress_depth = 0 then
+    match Hashtbl.find_opt armed_tbl name with
+    | None -> ()
+    | Some a ->
+        let fire =
+          match a.a_spec with
+          | One_shot -> true
+          | Every_nth n -> c.c_hits mod n = 0
+          | Probability p -> Rng.float !rng < p
+        in
+        if fire then begin
+          (match a.a_spec with
+          | One_shot -> Hashtbl.remove armed_tbl name
+          | Every_nth _ | Probability _ -> ());
+          c.c_fired <- c.c_fired + 1;
+          raise (Injected { site = name; transient = a.a_transient })
+        end
+
+(** Parse a CLI fault argument: [SITE[:once|nth=N|p=F][:transient]],
+    e.g. ["criu.save:once"], ["rewrite.patch:nth=3:transient"].
+    Returns (site, spec, transient). *)
+let parse_spec (s : string) : string * spec * bool =
+  match String.split_on_char ':' s with
+  | [] | [ "" ] -> invalid_arg "Fault.parse_spec: empty"
+  | site :: opts ->
+      let spec = ref One_shot and transient = ref false in
+      List.iter
+        (fun o ->
+          match o with
+          | "once" -> spec := One_shot
+          | "transient" -> transient := true
+          | _ when String.length o > 4 && String.sub o 0 4 = "nth=" ->
+              spec := Every_nth (int_of_string (String.sub o 4 (String.length o - 4)))
+          | _ when String.length o > 2 && String.sub o 0 2 = "p=" ->
+              spec := Probability (float_of_string (String.sub o 2 (String.length o - 2)))
+          | _ -> invalid_arg (Printf.sprintf "Fault.parse_spec: bad option %S" o))
+        opts;
+      (site, !spec, !transient)
+
+(** One line per known site: "site hits/fired". *)
+let report () =
+  String.concat "\n"
+    (List.map (fun s -> Printf.sprintf "%-20s hits=%d fired=%d" s (hits s) (fired s)) (sites ()))

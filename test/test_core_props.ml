@@ -145,6 +145,63 @@ let test_unmap_remap_preserves_content () =
       let after = Images.read_mem img'' text_base 4096 in
       Alcotest.(check bool) "content restored" true (Bytes.equal before after)
 
+(* ---------- failure paths ---------- *)
+
+let test_restore_rejects_live_pid () =
+  let m, p = Test_core.boot () in
+  Machine.freeze m ~pid:p.Proc.pid;
+  let img = Checkpoint.dump m ~pid:p.Proc.pid () in
+  Machine.thaw m ~pid:p.Proc.pid;
+  (* restoring over a live pid must refuse, not create a twin process *)
+  Alcotest.check_raises "live pid refused"
+    (Restore.Restore_error (Printf.sprintf "pid %d still alive" p.Proc.pid))
+    (fun () -> ignore (Restore.restore m img))
+
+let test_cut_unknown_module_rolls_back () =
+  let m, p = Test_core.boot () in
+  let session = Dynacut.create m ~root_pid:p.Proc.pid in
+  let bogus = [ { Covgraph.b_module = "not-mapped.so"; b_off = 0; b_size = 4 } ] in
+  let policy = { Dynacut.method_ = `First_byte; on_trap = `Kill } in
+  let r = Dynacut.try_cut session ~blocks:bogus ~policy () in
+  (match r.Dynacut.r_outcome with
+  | `Rolled_back rb ->
+      Alcotest.(check string) "failed in rewrite" "rewrite" rb.Dynacut.rb_stage
+  | `Applied | `Degraded -> Alcotest.fail "expected rollback");
+  Alcotest.(check string) "still serving" "VAL=7" (Test_core.request m "G");
+  (* the raising wrapper surfaces the same rollback as Dynacut_error *)
+  Alcotest.(check bool) "cut raises" true
+    (match Dynacut.cut session ~blocks:bogus ~policy with
+    | _ -> false
+    | exception Dynacut.Dynacut_error _ -> true);
+  Alcotest.(check string) "serving after raise" "VAL=7" (Test_core.request m "G")
+
+let prop_cut_reenable_image_roundtrip =
+  QCheck.Test.make ~name:"cut+reenable leaves byte-identical dump" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let m, p = Test_core.boot () in
+      let pid = p.Proc.pid in
+      Machine.freeze m ~pid;
+      let e0 = Images.encode (Checkpoint.dump m ~pid ()) in
+      Machine.thaw m ~pid;
+      let rng = Rng.create seed in
+      let victims = List.filter (fun _ -> Rng.bool rng) (exe_blocks ()) in
+      let session = Dynacut.create m ~root_pid:pid in
+      let journals, _ =
+        Dynacut.cut session ~blocks:victims
+          ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Kill }
+      in
+      let (_ : Dynacut.timings) = Dynacut.reenable session journals in
+      (* restore leaves the process runnable (syscall restart); let it
+         re-enter the blocked accept it was dumped in *)
+      (match Machine.run m ~max_cycles:2_000_000 with
+      | `Idle -> ()
+      | _ -> QCheck.Test.fail_report "server did not settle after reenable");
+      Machine.freeze m ~pid;
+      let e1 = Images.encode (Checkpoint.dump m ~pid ()) in
+      Machine.thaw m ~pid;
+      String.equal e0 e1)
+
 (* ---------- funcbounds ---------- *)
 
 let test_funcbounds_groups_labels () =
@@ -214,6 +271,10 @@ let suite =
       test_normalize_keeps_unknown_modules;
     QCheck_alcotest.to_alcotest prop_patch_restore_identity;
     Alcotest.test_case "unmap/remap roundtrip" `Quick test_unmap_remap_preserves_content;
+    Alcotest.test_case "restore rejects live pid" `Quick test_restore_rejects_live_pid;
+    Alcotest.test_case "cut of unmapped module rolls back" `Quick
+      test_cut_unknown_module_rolls_back;
+    QCheck_alcotest.to_alcotest prop_cut_reenable_image_roundtrip;
     Alcotest.test_case "funcbounds label grouping" `Quick test_funcbounds_groups_labels;
     Alcotest.test_case "gadget census drops after wipe" `Quick test_gadget_census_drops_after_wipe;
     Alcotest.test_case "gadget scan of wiped region" `Quick test_gadget_scan_trap_region;

@@ -10,6 +10,7 @@ let () =
       ("criu", Test_criu.suite);
       ("core", Test_core.suite);
       ("core-props", Test_core_props.suite);
+      ("faults", Test_faults.suite);
       ("guestlib", Test_guestlib.suite);
       ("apps", Test_apps.suite);
       ("baselines", Test_baselines.suite);
