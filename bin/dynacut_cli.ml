@@ -26,6 +26,51 @@ let app_arg =
   let doc = "Guest application (ltpd | ngx | rkv | 600.perlbench_s | ...)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
+(* APP as an optional positional, for commands where --list-fault-sites
+   can stand alone *)
+let app_opt_arg =
+  let doc = "Guest application (ltpd | ngx | rkv | 600.perlbench_s | ...)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let require_app = function
+  | Some a -> find_app a
+  | None ->
+      prerr_endline "missing APP argument";
+      exit 2
+
+let list_fault_sites_arg =
+  let doc =
+    "List every registered fault-injection site with a one-line \
+     description, then exit (no APP needed)."
+  in
+  Arg.(value & flag & info [ "list-fault-sites" ] ~doc)
+
+let print_fault_sites () =
+  List.iter
+    (fun (site, desc) -> Printf.printf "%-22s %s\n" site desc)
+    Fault.known_sites
+
+let inject_fault_arg =
+  let doc =
+    "Arm a deterministic fault at a pipeline site before cutting \
+     (repeatable). $(docv) is SITE[:once|nth=N|p=F][:transient], e.g. \
+     'criu.save', 'restore.tcp_repair:nth=2', 'rewrite.patch:once:transient'. \
+     See --list-fault-sites for the full site registry."
+  in
+  Arg.(value & opt_all string [] & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
+
+let arm_faults specs =
+  Fault.reset ();
+  List.iter
+    (fun spec_str ->
+      try
+        let site, spec, transient = Fault.parse_spec spec_str in
+        Fault.arm ~transient site spec
+      with Invalid_argument e ->
+        Printf.eprintf "bad --inject-fault %S: %s\n" spec_str e;
+        exit 2)
+    specs
+
 let out_arg =
   let doc = "Write output to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -122,13 +167,34 @@ let tracediff_cmd =
 
 (* ---------- cut ---------- *)
 
+let feature_blocks (app : Workload.app) feature =
+  match (app.Workload.a_name, feature) with
+  | ("ltpd" | "ngx"), "put-delete" ->
+      ( Common.web_feature_blocks app,
+        if app.Workload.a_name = "ltpd" then "ltpd_403" else "ngx_declined" )
+  | "rkv", cmd -> (Common.rkv_feature_blocks [ cmd ^ " somekey someval\n" ], "rkv_err")
+  | _ ->
+      Printf.eprintf "no feature %S for %s\n" feature app.Workload.a_name;
+      exit 2
+
+let exit_status_man extra =
+  [
+    `S "EXIT STATUS";
+    `P "0: the cut is live (possibly via the degraded fallback).";
+    `P "2: usage error (unknown app, feature, or fault spec).";
+    `P
+      "3: the transaction rolled back — the target process tree is \
+       byte-identical to its pre-cut state and still serving.";
+  ]
+  @ extra
+
 let cut_cmd =
   let feature =
     let doc =
       "Feature to disable: 'put-delete' (web servers), or an rkv command \
        name such as SET, STRALGO, SETRANGE, CONFIG."
     in
-    Arg.(required & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
   in
   let probe =
     let doc = "Request to send to the customized server (repeatable)." in
@@ -138,38 +204,21 @@ let cut_cmd =
     let doc = "Re-enable the feature afterwards and probe again." in
     Arg.(value & flag & info [ "reenable" ] ~doc)
   in
-  let inject_fault =
-    let doc =
-      "Arm a deterministic fault at a pipeline site before cutting \
-       (repeatable). $(docv) is SITE[:once|nth=N|p=F][:transient], e.g. \
-       'criu.save', 'restore.tcp_repair:nth=2', 'rewrite.patch:once:transient'. \
-       Known sites are printed in the fault report after the run."
-    in
-    Arg.(value & opt_all string [] & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
-  in
-  let action app feature probes reenable faults =
-    let app = find_app app in
-    let blocks, redirect =
-      match (app.Workload.a_name, feature) with
-      | ("ltpd" | "ngx"), "put-delete" ->
-          ( Common.web_feature_blocks app,
-            if app.Workload.a_name = "ltpd" then "ltpd_403" else "ngx_declined" )
-      | "rkv", cmd ->
-          (Common.rkv_feature_blocks [ cmd ^ " somekey someval\n" ], "rkv_err")
-      | _ ->
-          Printf.eprintf "no feature %S for %s\n" feature app.Workload.a_name;
+  let action app feature probes reenable faults list_sites =
+    if list_sites then begin
+      print_fault_sites ();
+      exit 0
+    end;
+    let app = require_app app in
+    let feature =
+      match feature with
+      | Some f -> f
+      | None ->
+          prerr_endline "missing FEATURE argument";
           exit 2
     in
-    Fault.reset ();
-    List.iter
-      (fun spec_str ->
-        try
-          let site, spec, transient = Fault.parse_spec spec_str in
-          Fault.arm ~transient site spec
-        with Invalid_argument e ->
-          Printf.eprintf "bad --inject-fault %S: %s\n" spec_str e;
-          exit 2)
-      faults;
+    let blocks, redirect = feature_blocks app feature in
+    arm_faults faults;
     let c = Workload.spawn app in
     Workload.wait_ready c;
     let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
@@ -208,8 +257,170 @@ let cut_cmd =
   in
   let doc = "Dynamically disable a feature of a running server, then probe it." in
   Cmd.v
-    (Cmd.info "cut" ~doc)
-    Term.(const action $ app_arg $ feature $ probe $ reenable $ inject_fault)
+    (Cmd.info "cut" ~doc ~man:(exit_status_man []))
+    Term.(
+      const action $ app_opt_arg $ feature $ probe $ reenable $ inject_fault_arg
+      $ list_fault_sites_arg)
+
+(* ---------- guard ---------- *)
+
+let guard_cmd =
+  let feature =
+    let doc = "Feature to disable (same choices as $(b,cut)); default put-delete \
+               for the web servers, SET for rkv." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+  in
+  let probe =
+    let doc = "Request mix driven between supervision ticks (repeatable); \
+               defaults to the app's wanted-traffic mix." in
+    Arg.(value & opt_all string [] & info [ "r"; "request" ] ~docv:"REQ" ~doc)
+  in
+  let canary =
+    let doc = "Cut one worker first and promote only after a healthy \
+               observation period (default true)." in
+    Arg.(value & opt bool true & info [ "canary" ] ~docv:"BOOL" ~doc)
+  in
+  let storm =
+    let doc =
+      "Deliberately add the app's wanted GET path to the undesired set, \
+       provoking a trap storm — a demo of the breaker tripping."
+    in
+    Arg.(value & flag & info [ "storm" ] ~doc)
+  in
+  let window =
+    let doc = "Sliding SLO window in virtual cycles." in
+    Arg.(value & opt int64 Supervisor.default_config.Supervisor.window
+         & info [ "window" ] ~docv:"CYCLES" ~doc)
+  in
+  let max_traps =
+    let doc = "Traps tolerated per window before the breaker trips." in
+    Arg.(value & opt int Supervisor.default_config.Supervisor.max_traps
+         & info [ "max-traps" ] ~docv:"N" ~doc)
+  in
+  let cooldown =
+    let doc = "Virtual cycles spent open before a half-open probe re-cut." in
+    Arg.(value & opt int64 Supervisor.default_config.Supervisor.cooldown
+         & info [ "cooldown" ] ~docv:"CYCLES" ~doc)
+  in
+  let max_trips =
+    let doc = "Breaker trips before the cut is abandoned for good." in
+    Arg.(value & opt int Supervisor.default_config.Supervisor.max_trips
+         & info [ "max-trips" ] ~docv:"N" ~doc)
+  in
+  let max_respawns =
+    let doc = "Per-worker crash-loop respawn budget." in
+    Arg.(value & opt int Supervisor.default_config.Supervisor.max_respawns
+         & info [ "max-respawns" ] ~docv:"N" ~doc)
+  in
+  let slices =
+    let doc = "Post-rollout soak: traffic + supervision tick rounds." in
+    Arg.(value & opt int 8 & info [ "slices" ] ~docv:"N" ~doc)
+  in
+  let storm_sym (app : Workload.app) =
+    match app.Workload.a_name with
+    | "ngx" -> "ngx_http_get"
+    | "ltpd" -> "ltpd_handle_get"
+    | "rkv" -> "rkv_cmd_get"
+    | n ->
+        Printf.eprintf "--storm is not supported for %s\n" n;
+        exit 2
+  in
+  let action app feature probes canary storm window max_traps cooldown max_trips
+      max_respawns slices faults list_sites =
+    if list_sites then begin
+      print_fault_sites ();
+      exit 0
+    end;
+    let app = require_app app in
+    let feature =
+      match feature with
+      | Some f -> f
+      | None -> if app.Workload.a_name = "rkv" then "SET" else "put-delete"
+    in
+    let blocks, redirect = feature_blocks app feature in
+    (* A storm cut includes the wanted GET path. `Redirect would silently
+       drop it (same-function filter), so the storm uses `Terminate: the
+       first wanted request kills the canary — a maximally bad cut. *)
+    let blocks, on_trap =
+      if storm then
+        ( blocks
+          @ [
+              Supervisor.block_of_sym (Common.app_exe app)
+                ~module_:app.Workload.a_name ~sym:(storm_sym app);
+            ],
+          `Terminate )
+      else (blocks, `Redirect redirect)
+    in
+    arm_faults faults;
+    let c = Workload.spawn app in
+    Workload.wait_ready c;
+    let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+    let config =
+      { Supervisor.default_config with
+        Supervisor.window; max_traps; cooldown; max_trips; max_respawns }
+    in
+    let sup =
+      Supervisor.create session ~config ~blocks
+        ~policy:{ Dynacut.method_ = `First_byte; on_trap }
+    in
+    let reqs =
+      match probes with
+      | [] ->
+          if app.Workload.a_name = "rkv" then [ "GET somekey\n" ]
+          else Workload.web_wanted
+      | l -> List.map Scanf.unescaped l
+    in
+    let drive () =
+      List.iter (fun r -> ignore (Workload.rpc c r)) reqs;
+      ignore (Machine.run c.Workload.m ~max_cycles:20_000)
+    in
+    let finish code =
+      print_endline (Supervisor.render_log sup);
+      Format.printf "breaker: %a (trips=%d)@." Supervisor.pp_breaker
+        (Supervisor.breaker_state sup) (Supervisor.trips sup);
+      if faults <> [] then print_endline (Fault.report ());
+      exit code
+    in
+    let rollout = Supervisor.guarded_cut sup ~canary ~drive () in
+    Format.printf "rollout: %a@." Supervisor.pp_rollout rollout;
+    (match rollout with
+    | Supervisor.R_rolled_back _ -> finish 3
+    | Supervisor.R_canary_rejected | Supervisor.R_promotion_failed -> finish 4
+    | Supervisor.R_promoted -> ());
+    for _ = 1 to slices do
+      drive ();
+      Supervisor.tick sup
+    done;
+    let code =
+      match Supervisor.breaker_state sup with
+      | Supervisor.Abandoned -> 5
+      | Supervisor.Open _ | Supervisor.Half_open _ -> 4
+      | Supervisor.Closed -> if Supervisor.trips sup > 0 then 4 else 0
+    in
+    finish code
+  in
+  let doc =
+    "Apply a cut under supervision: canary rollout, trap-storm circuit \
+     breaker, crash-loop respawn."
+  in
+  let man =
+    exit_status_man
+      [
+        `P
+          "4: the rollout was stopped by the guardrails — the canary was \
+           rejected, promotion failed, or the circuit breaker tripped \
+           during the soak (the feature was automatically re-enabled).";
+        `P
+          "5: the breaker exhausted its trip budget; the cut was \
+           abandoned and the feature stays enabled.";
+      ]
+  in
+  Cmd.v
+    (Cmd.info "guard" ~doc ~man)
+    Term.(
+      const action $ app_opt_arg $ feature $ probe $ canary $ storm $ window
+      $ max_traps $ cooldown $ max_trips $ max_respawns $ slices
+      $ inject_fault_arg $ list_fault_sites_arg)
 
 (* ---------- crit ---------- *)
 
@@ -292,4 +503,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; tracediff_cmd; cut_cmd; crit_cmd; disasm_cmd; report_cmd ]))
+          [
+            run_cmd;
+            trace_cmd;
+            tracediff_cmd;
+            cut_cmd;
+            guard_cmd;
+            crit_cmd;
+            disasm_cmd;
+            report_cmd;
+          ]))

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, and (when ocamlformat
+# is available) check formatting. Any failing step fails the script.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== fmt skipped (ocamlformat not installed) =="
+fi
+
+echo "ci: all green"

@@ -99,6 +99,14 @@ let save_pristine s (img : Images.t) : unit =
     (pristine_path s img.Images.core.Images.c_pid)
     (Validate.encode_sealed img)
 
+(** Drop a pid's session bookkeeping (policy-table entries, injected-lib
+    base). Needed when a process is re-created from its {e pristine}
+    image outside the transaction engine — the handler library is not in
+    that image, so stale entries would poison the next cut. *)
+let forget_pid (s : session) ~(pid : int) : unit =
+  s.table <- List.remove_assoc pid s.table;
+  s.lib_bases <- List.remove_assoc pid s.lib_bases
+
 let load_pristine s pid : Images.t =
   match Vfs.find s.machine.Machine.fs (pristine_path s pid) with
   | Some blob -> Validate.decode_sealed blob
@@ -175,7 +183,14 @@ let stage_handler s pids ~(blocks : Covgraph.block list) ~on_trap
           in
           let img, base =
             match Rewriter.module_base img s.handler_lib.Self.name with
-            | Some base -> (img, base) (* already injected by an earlier cut *)
+            | Some base ->
+                (* already injected by an earlier cut — but still (re)record
+                   the base: a pid respawned from an image with the lib
+                   resident has no [lib_bases] entry ([forget_pid]), and
+                   without one its trap counter is invisible to
+                   [handler_hits] *)
+                s.lib_bases <- (pid, base) :: List.remove_assoc pid s.lib_bases;
+                (img, base)
             | None ->
                 let img, base =
                   Inject.inject img ~lib:s.handler_lib ~deps:[ (libc, libc_base) ] ()
@@ -527,14 +542,14 @@ let run_transaction s ~pids ~max_retries ~retry_classes
     [`Unmap_pages] cut that keeps failing falls back to [`First_byte]
     before giving up. *)
 let try_cut (s : session) ?(max_retries = default_max_retries)
-    ?(retry_classes = []) ?(degrade = false) ~(blocks : Covgraph.block list)
-    ~(policy : policy) () : cut_result =
+    ?(retry_classes = []) ?(degrade = false) ?pids
+    ~(blocks : Covgraph.block list) ~(policy : policy) () : cut_result =
   let blocks =
     match policy.on_trap with
     | `Redirect sym -> redirect_filter s ~sym blocks
     | `Kill | `Terminate | `Verify -> blocks
   in
-  let pids = tree_pids s in
+  let pids = match pids with Some l -> l | None -> tree_pids s in
   let attempt method_ () =
     s.cut_count <- s.cut_count + 1;
     let journals, t_disable =
@@ -562,8 +577,8 @@ let try_cut (s : session) ?(max_retries = default_max_retries)
     bidirectional transformation), with the same transactional
     guarantees as {!try_cut}. *)
 let try_reenable (s : session) ?(max_retries = default_max_retries)
-    ?(retry_classes = []) (journals : Rewriter.journal list) : cut_result =
-  let pids = tree_pids s in
+    ?(retry_classes = []) ?pids (journals : Rewriter.journal list) : cut_result =
+  let pids = match pids with Some l -> l | None -> tree_pids s in
   let attempt () =
     let (), t_disable =
       Stats.time_it (fun () ->

@@ -70,6 +70,19 @@ val redirect_filter :
   session -> sym:string -> Covgraph.block list -> Covgraph.block list
 (** The same-function restriction applied by [cut] under [`Redirect]. *)
 
+val image_path : session -> int -> string
+(** Tmpfs path of a pid's working image — the most recent checkpoint
+    with the cut edits applied. *)
+
+val pristine_path : session -> int -> string
+(** Tmpfs path of a pid's pristine image — the pre-cut checkpoint kept
+    by the transaction engine. *)
+
+val forget_pid : session -> pid:int -> unit
+(** Drop a pid's session bookkeeping (policy-table entries, injected-lib
+    base) after it was re-created from its pristine image outside the
+    transaction engine. *)
+
 (** {2 Transactional cut pipeline}
 
     A cut (or re-enable) is a two-phase transaction over the static
@@ -106,11 +119,13 @@ val try_cut :
   ?max_retries:int ->
   ?retry_classes:string list ->
   ?degrade:bool ->
+  ?pids:int list ->
   blocks:Covgraph.block list ->
   policy:policy ->
   unit ->
   cut_result
-(** Disable [blocks] across the tree as a transaction: freeze,
+(** Disable [blocks] across [pids] (default: the whole tree) as a
+    transaction — a subset enables canary rollouts: freeze,
     checkpoint to tmpfs, rewrite the images, inject/update the handler,
     validate, restore. On success the live processes keep their pids,
     memory and TCP connections; on failure the tree is rolled back and
@@ -125,10 +140,13 @@ val try_reenable :
   session ->
   ?max_retries:int ->
   ?retry_classes:string list ->
+  ?pids:int list ->
   Rewriter.journal list ->
   cut_result
 (** Restore a previous cut (original bytes back, pages remapped, policy
-    entries removed) with the same transactional guarantees. *)
+    entries removed) with the same transactional guarantees. [pids]
+    (default: the whole tree) must name {e live} processes — the
+    transaction freezes and checkpoints them. *)
 
 val cut :
   session ->

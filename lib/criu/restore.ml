@@ -137,3 +137,14 @@ let load_from_tmpfs (m : Machine.t) ~(path : string) : Images.t =
 (** Restore from a serialized image in the machine tmpfs. *)
 let restore_from_tmpfs (m : Machine.t) ~(path : string) : Proc.t =
   restore m (load_from_tmpfs m ~path)
+
+(** Re-create a dead process from a tmpfs image — the supervisor's
+    crash-loop respawn. The pid must be dead (a live pid is refused by
+    {!restore}); the restored process takes over the dead one's slot and
+    resumes from the image's saved state, cut edits included when the
+    image is a working (rewritten) one. *)
+let respawn (m : Machine.t) ~(path : string) : Proc.t =
+  Fault.site "restore.respawn";
+  let p = restore m (load_from_tmpfs m ~path) in
+  p.Proc.frozen <- false;
+  p

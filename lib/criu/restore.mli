@@ -17,3 +17,9 @@ val load_from_tmpfs : Machine.t -> path:string -> Images.t
     {!Restore_error} if the file is missing. *)
 
 val restore_from_tmpfs : Machine.t -> path:string -> Proc.t
+
+val respawn : Machine.t -> path:string -> Proc.t
+(** Re-create a {e dead} pid from a tmpfs image (fault site
+    [restore.respawn]) — the supervisor's crash-loop respawn. Restoring
+    from a working (rewritten) image resumes with the cut applied;
+    restoring from a pristine image resumes the original program. *)

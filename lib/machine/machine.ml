@@ -15,6 +15,11 @@ type syscall_hook = Proc.t -> int -> unit
     "monitor specific system calls to determine the end of the
     initialization phase"). *)
 
+type exit_hook = Proc.t -> unit
+(** Called exactly once when a process transitions to a dead state
+    (exit, fatal signal) — how a post-cut supervisor notices a worker
+    killed by an un-redirected SIGTRAP/SIGILL and respawns it. *)
+
 type t = {
   fs : Vfs.t;
   net : Net.t;
@@ -23,6 +28,7 @@ type t = {
   mutable clock : int64;
   mutable trace : trace_hook option;
   mutable on_syscall : syscall_hook option;
+  mutable on_exit : exit_hook option;
   rng : Rng.t;
   syscall_cost : int;  (** extra cycles charged per syscall *)
   mutable spawn_order : int list;  (** pids in creation order, for RR *)
@@ -37,6 +43,7 @@ let create ?(seed = 42) () =
     clock = 0L;
     trace = None;
     on_syscall = None;
+    on_exit = None;
     rng = Rng.create seed;
     syscall_cost = 40;
     spawn_order = [];
@@ -118,6 +125,15 @@ let end_block t (p : Proc.t) ~(next : int64) =
 
 (* ---------- signals ---------- *)
 
+(* death can be observed at several interpreter exits (default signal
+   action, exit syscall, hlt, double fault); the per-process flag makes
+   the hook fire exactly once per death, wherever it is noticed *)
+let notify_exit t (p : Proc.t) =
+  if (not (Proc.is_live p)) && not p.Proc.exit_notified then begin
+    p.Proc.exit_notified <- true;
+    match t.on_exit with Some hook -> hook p | None -> ()
+  end
+
 (** Deliver [signum] to [p] with the saved rip = [at] (the faulting /
     trapping instruction). Builds the signal frame described in {!Abi} or
     applies the default action (terminate). *)
@@ -126,7 +142,7 @@ let deliver_signal t (p : Proc.t) ~(signum : int) ~(at : int64) =
   let action =
     if signum = Abi.sigkill then None else p.Proc.sigactions.(signum)
   in
-  match action with
+  (match action with
   | None -> p.Proc.state <- Proc.Killed signum
   | Some { Proc.sa_handler; sa_restorer } -> (
       let regs = p.Proc.regs in
@@ -151,7 +167,8 @@ let deliver_signal t (p : Proc.t) ~(signum : int) ~(at : int64) =
         p.Proc.state <- Proc.Runnable
       with Mem.Fault _ ->
         (* stack overflow while building the frame: double fault *)
-        p.Proc.state <- Proc.Killed Abi.sigsegv)
+        p.Proc.state <- Proc.Killed Abi.sigsegv));
+  notify_exit t p
 
 let do_sigreturn (p : Proc.t) =
   let regs = p.Proc.regs in
@@ -404,7 +421,7 @@ let set_test_flags (regs : Proc.regs) a b =
   regs.Proc.of_ <- false
 
 (** Execute exactly one instruction of [p]; assumes [p] runnable. *)
-let step t (p : Proc.t) =
+let step_insn t (p : Proc.t) =
   let regs = p.Proc.regs in
   let rip = regs.Proc.rip in
   let mem = p.Proc.mem in
@@ -587,6 +604,11 @@ let step t (p : Proc.t) =
                 p.Proc.state <- st
             | Sigret -> ())
       with Mem.Fault (_, _) -> deliver_signal t p ~signum:Abi.sigsegv ~at:rip)
+
+let step t (p : Proc.t) =
+  step_insn t p;
+  (* exit-syscall and hlt deaths bypass deliver_signal *)
+  notify_exit t p
 
 (* ---------- scheduler ---------- *)
 

@@ -11,6 +11,10 @@ type syscall_hook = Proc.t -> int -> unit
 (** (process, syscall number) before dispatch — backs automatic phase
     detection (§5). *)
 
+type exit_hook = Proc.t -> unit
+(** Fires exactly once when a process dies (exit syscall, fatal signal,
+    double fault) — the supervisor's crash-loop detector. *)
+
 type t = {
   fs : Vfs.t;
   net : Net.t;
@@ -19,6 +23,7 @@ type t = {
   mutable clock : int64;  (** virtual cycles *)
   mutable trace : trace_hook option;
   mutable on_syscall : syscall_hook option;
+  mutable on_exit : exit_hook option;
   rng : Rng.t;  (** feeds the guest [rand] syscall *)
   syscall_cost : int;
   mutable spawn_order : int list;

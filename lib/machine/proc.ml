@@ -73,6 +73,10 @@ type t = {
   mutable seccomp : int list option;
       (** seccomp-style denylist of syscall numbers; [None] = no filter.
           Installed by DynaCut's image rewriting (paper §5) *)
+  mutable exit_notified : bool;
+      (** the machine's [on_exit] hook already fired for this process
+          object — death can be observed at several interpreter exits,
+          the hook must fire exactly once *)
 }
 
 let stack_top = 0x7ffd_0000_0000L
@@ -104,6 +108,7 @@ let create ~pid ~parent ~comm ~exe_path ~mem =
     retired = 0L;
     block_start = None;
     seccomp = None;
+    exit_notified = false;
   }
 
 let alloc_fd p kind =
@@ -151,6 +156,7 @@ let fork_copy p ~pid =
     retired = 0L;
     block_start = None;
     seccomp = p.seccomp;
+    exit_notified = false;
   }
 
 let state_to_string = function

@@ -118,6 +118,29 @@ let parse_spec (s : string) : string * spec * bool =
         opts;
       (site, !spec, !transient)
 
+(** Static registry of every fault site compiled into the pipeline, with
+    a one-line description. [sites ()] only knows sites already reached
+    at run time; the CLI's [--list-fault-sites] wants them all. Keep in
+    sync with the [Fault.site] calls — test_faults checks completeness
+    against the sites the test suites actually reach. *)
+let known_sites =
+  [
+    ("criu.checkpoint", "freeze + dump of one process into images");
+    ("criu.save", "serialize and seal an image blob to tmpfs");
+    ("criu.load", "load, unseal and validate an image blob from tmpfs");
+    ("crit.encode", "image-to-text round trip, encode half");
+    ("crit.decode", "image-to-text round trip, decode half");
+    ("rewrite.patch", "int3 byte patch on a checkpoint image");
+    ("rewrite.unmap", "page drop / VMA split on a checkpoint image");
+    ("inject.lib", "map the SIGTRAP handler library into the image");
+    ("inject.policy", "write the policy table into the image");
+    ("restore.process", "rebuild a live process from images");
+    ("restore.tcp_repair", "re-attach a snapshotted TCP connection");
+    ("restore.respawn", "supervisor crash-loop respawn from a tmpfs image");
+    ("supervisor.promote", "canary promotion to the remaining pids");
+    ("supervisor.reenable", "breaker-tripped automatic re-enable");
+  ]
+
 (** One line per known site: "site hits/fired". *)
 let report () =
   String.concat "\n"

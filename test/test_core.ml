@@ -280,9 +280,116 @@ let test_cfg_total_blocks () =
           (List.mem b.Covgraph.b_off starts))
     (Covgraph.blocks g)
 
+(* ---------- handler_hits / verifier_log observability ---------- *)
+
+let test_counters_empty_session () =
+  (* before any cut — and for unknown pids — both counters read empty *)
+  let m, p = boot () in
+  let session = Dynacut.create m ~root_pid:p.Proc.pid in
+  Alcotest.(check int64) "no hits before a cut" 0L
+    (Dynacut.handler_hits session ~pid:p.Proc.pid);
+  Alcotest.(check (list int64)) "no verifier log before a cut" []
+    (Dynacut.verifier_log session ~pid:p.Proc.pid);
+  Alcotest.(check int64) "unknown pid reads zero" 0L
+    (Dynacut.handler_hits session ~pid:9999);
+  Alcotest.(check (list int64)) "unknown pid reads empty" []
+    (Dynacut.verifier_log session ~pid:9999)
+
+let test_counters_multi_pid () =
+  (* on a master/worker tree the counters are per-pid: only the worker
+     that serves the blocked request accumulates hits *)
+  let c = Workload.spawn Workload.ngx in
+  Workload.wait_ready c;
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let blocks = Common.web_feature_blocks Workload.ngx in
+  let _ =
+    Dynacut.cut session ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect "ngx_declined" }
+  in
+  let pids = Dynacut.tree_pids session in
+  Alcotest.(check int) "master + worker" 2 (List.length pids);
+  List.iter
+    (fun pid ->
+      Alcotest.(check int64) (Printf.sprintf "pid %d starts at zero" pid) 0L
+        (Dynacut.handler_hits session ~pid))
+    pids;
+  let (_ : string) = Workload.rpc c "PUT /u.txt HTTP/1.0\r\n\r\ndata" in
+  let with_hits, without =
+    List.partition (fun pid -> Dynacut.handler_hits session ~pid > 0L) pids
+  in
+  Alcotest.(check int) "exactly one pid served the trap" 1 (List.length with_hits);
+  Alcotest.(check bool) "the master stayed clean" true
+    (List.mem c.Workload.pid without);
+  (* redirect mode logs nothing to the verifier log, on any pid *)
+  List.iter
+    (fun pid ->
+      Alcotest.(check (list int64)) (Printf.sprintf "pid %d verifier empty" pid)
+        [] (Dynacut.verifier_log session ~pid))
+    pids
+
+let test_counters_survive_reenable () =
+  (* the injected library stays mapped across a re-enable, so the
+     counters remain readable: hits persist, the log does not grow *)
+  let blocks = feature_blocks () in
+  let m, p = boot () in
+  let pid = p.Proc.pid in
+  let session = Dynacut.create m ~root_pid:pid in
+  let journals, _ =
+    Dynacut.cut session ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect "err_path" }
+  in
+  Alcotest.(check string) "blocked" "ERR" (request m "S");
+  let hits = Dynacut.handler_hits session ~pid in
+  Alcotest.(check bool) "trap counted" true (hits >= 1L);
+  let (_ : Dynacut.timings) = Dynacut.reenable session journals in
+  Alcotest.(check string) "feature back" "SET-OK" (request m "S");
+  Alcotest.(check int64) "hits persist across re-enable" hits
+    (Dynacut.handler_hits session ~pid);
+  Alcotest.(check (list int64)) "verifier log still empty" []
+    (Dynacut.verifier_log session ~pid)
+
+let test_counters_after_resident_lib_respawn () =
+  (* regression: a later cut overwrites the pristine image with the
+     handler lib already resident. A pid respawned from that image gets
+     no fresh injection on the next cut (the reuse path), so the cut
+     must re-record the lib base — otherwise handler_hits reads zero
+     while traps are being taken *)
+  let blocks = feature_blocks () in
+  let m, p = boot () in
+  let pid = p.Proc.pid in
+  let session = Dynacut.create m ~root_pid:pid in
+  let redirect = { Dynacut.method_ = `First_byte; on_trap = `Redirect "err_path" } in
+  (* cut 1 injects the lib; the re-enable leaves it mapped *)
+  let journals, _ = Dynacut.cut session ~blocks ~policy:redirect in
+  let (_ : Dynacut.timings) = Dynacut.reenable session journals in
+  (* cut 2's checkpoint re-saves the pristine image — lib inside — and
+     the first blocked request kills the process *)
+  let _ =
+    Dynacut.cut session ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Terminate }
+  in
+  let (_ : string) = request m "S" in
+  Alcotest.(check bool) "terminated" false (Proc.is_live (Machine.proc_exn m pid));
+  let (_ : Proc.t) = Restore.respawn m ~path:(Dynacut.pristine_path session pid) in
+  Dynacut.forget_pid session ~pid;
+  (* cut 3 finds the lib resident and skips injection; the counter must
+     still be wired up *)
+  let _ = Dynacut.cut session ~blocks ~policy:redirect in
+  Alcotest.(check string) "blocked again" "ERR" (request m "S");
+  Alcotest.(check bool) "hits visible after resident-lib respawn" true
+    (Dynacut.handler_hits session ~pid >= 1L)
+
 let suite =
   [
     Alcotest.test_case "tracediff finds the feature" `Quick test_tracediff_finds_feature;
+    Alcotest.test_case "counters: empty session and unknown pid" `Quick
+      test_counters_empty_session;
+    Alcotest.test_case "counters: per-pid across a worker tree" `Quick
+      test_counters_multi_pid;
+    Alcotest.test_case "counters: survive re-enable" `Quick
+      test_counters_survive_reenable;
+    Alcotest.test_case "counters: resident-lib respawn keeps them wired" `Quick
+      test_counters_after_resident_lib_respawn;
     Alcotest.test_case "cut: kill policy" `Quick test_cut_kill_policy;
     Alcotest.test_case "cut: redirect policy (403-style)" `Quick test_cut_redirect_policy;
     Alcotest.test_case "cut: terminate-handler policy" `Quick test_cut_terminate_policy;

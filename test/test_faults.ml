@@ -213,6 +213,214 @@ let test_chaos_soak_ngx () =
   Alcotest.(check bool) "server alive after soak" true
     (Proc.is_live (Machine.proc_exn c.Workload.m c.Workload.pid))
 
+(* ---------- supervisor fault sites ---------- *)
+
+(** A fault at [supervisor.promote] must leave the fleet atomic: the
+    canary's cut is reverted and the other pids' transaction rolled
+    back, so every pid is fully original; a clean retry then leaves
+    every pid fully cut. *)
+let test_promote_fault_fleet_invariant () =
+  Fault.reset ();
+  let app = Workload.ngx in
+  let blocks = Common.web_feature_blocks app in
+  let c = Workload.spawn app in
+  Workload.wait_ready c;
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective = Dynacut.redirect_filter session ~sym:"ngx_declined" blocks in
+  Alcotest.(check bool) "effective blocks nonempty" true (effective <> []);
+  let base = (Common.app_exe app).Self.base in
+  let byte_of pid (b : Covgraph.block) =
+    Mem.peek8
+      (Machine.proc_exn c.Workload.m pid).Proc.mem
+      (Int64.add base (Int64.of_int b.Covgraph.b_off))
+  in
+  let originals = List.map (byte_of c.Workload.pid) effective in
+  let check_fleet label want =
+    List.iter
+      (fun pid ->
+        let got = List.map (byte_of pid) effective in
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s: pid %d" label pid)
+          want got)
+      (Dynacut.tree_pids session)
+  in
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.canary_windows = 1 }
+      ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect "ngx_declined" }
+  in
+  let drive () =
+    ignore (Workload.rpc ~max_cycles:800_000 c "GET /index.html HTTP/1.0\r\n\r\n")
+  in
+  Fault.arm "supervisor.promote" Fault.One_shot;
+  (match Supervisor.guarded_cut sup ~canary:true ~drive () with
+  | Supervisor.R_promotion_failed -> ()
+  | r -> Alcotest.failf "expected promotion failure: %a" Supervisor.pp_rollout r);
+  Alcotest.(check bool) "promote fired" true (Fault.fired "supervisor.promote" = 1);
+  (* every pid fully original *)
+  check_fleet "after failed promotion" originals;
+  Alcotest.(check string) "feature unchanged"
+    "HTTP/1.0 201" (String.sub (Workload.rpc c "PUT /u.txt HTTP/1.0\r\n\r\ndata") 0 12);
+  (* the (one-shot) fault is gone: the same supervisor promotes cleanly *)
+  (match Supervisor.guarded_cut sup ~canary:true ~drive () with
+  | Supervisor.R_promoted -> ()
+  | r -> Alcotest.failf "clean retry: %a" Supervisor.pp_rollout r);
+  (* every pid fully cut *)
+  check_fleet "after promotion" (List.map (fun _ -> 0xCC) effective);
+  Alcotest.(check string) "feature blocked everywhere"
+    "HTTP/1.0 403" (String.sub (Workload.rpc c "PUT /u.txt HTTP/1.0\r\n\r\ndata") 0 12);
+  Fault.reset ()
+
+(** A fault at [supervisor.reenable] while the breaker trips must leave
+    the cut fully applied; the next tick retries and re-enables fully. *)
+let test_reenable_fault_leaves_cut_intact () =
+  Fault.reset ();
+  (* a deliberately bad cut: the blocks only wanted GETs cover *)
+  let wanted = Test_core.trace_run [ "S"; "X"; "S" ] in
+  let undesired = Test_core.trace_run [ "G"; "G" ] in
+  let blocks =
+    (Tracediff.feature_blocks ~wanted:[ wanted ] ~undesired:[ undesired ] ())
+      .Tracediff.undesired
+  in
+  let m, p = Test_core.boot () in
+  let session = Dynacut.create m ~root_pid:p.Proc.pid in
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.max_traps = 1 }
+      ~blocks ~policy:redirect_policy
+  in
+  (match Supervisor.guarded_cut sup ~canary:false ~drive:(fun () -> ()) () with
+  | Supervisor.R_promoted -> ()
+  | r -> Alcotest.failf "cut: %a" Supervisor.pp_rollout r);
+  for _ = 1 to 2 do
+    Alcotest.(check string) "G storms" "ERR" (Test_core.request m "G")
+  done;
+  Fault.arm "supervisor.reenable" Fault.One_shot;
+  Supervisor.tick sup;
+  Alcotest.(check bool) "reenable fired" true (Fault.fired "supervisor.reenable" = 1);
+  (* the trip failed: the cut is still fully applied, no trip recorded *)
+  Alcotest.(check bool) "cut still live" true (Supervisor.cut_live sup);
+  Alcotest.(check int) "no trip recorded" 0 (Supervisor.trips sup);
+  Alcotest.(check string) "still blocked" "ERR" (Test_core.request m "G");
+  (* next tick re-detects the storm; the fault is gone, re-enable lands *)
+  Supervisor.tick sup;
+  Alcotest.(check bool) "re-enabled" false (Supervisor.cut_live sup);
+  Alcotest.(check int) "trip recorded" 1 (Supervisor.trips sup);
+  Alcotest.(check string) "fully original" "VAL=7" (Test_core.request m "G");
+  Fault.reset ()
+
+(** A fault at [restore.respawn] leaves the dead worker dead; the next
+    tick retries the respawn and brings it back with the cut intact. *)
+let test_respawn_fault_retried () =
+  Fault.reset ();
+  let wanted = Test_core.trace_run [ "S"; "X"; "S" ] in
+  let undesired = Test_core.trace_run [ "G"; "G" ] in
+  let blocks =
+    (Tracediff.feature_blocks ~wanted:[ wanted ] ~undesired:[ undesired ] ())
+      .Tracediff.undesired
+  in
+  let m, p = Test_core.boot () in
+  let pid = p.Proc.pid in
+  let session = Dynacut.create m ~root_pid:pid in
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.max_traps = 1000 }
+      ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Kill }
+  in
+  (match Supervisor.guarded_cut sup ~canary:false ~drive:(fun () -> ()) () with
+  | Supervisor.R_promoted -> ()
+  | r -> Alcotest.failf "cut: %a" Supervisor.pp_rollout r);
+  let (_ : string) = Test_core.request m "G" in
+  Alcotest.(check bool) "killed" false (Proc.is_live (Machine.proc_exn m pid));
+  Fault.arm "restore.respawn" Fault.One_shot;
+  Supervisor.tick sup;
+  Alcotest.(check bool) "respawn fired" true (Fault.fired "restore.respawn" = 1);
+  Alcotest.(check bool) "still dead" false (Proc.is_live (Machine.proc_exn m pid));
+  Supervisor.tick sup;
+  Alcotest.(check bool) "respawned on retry" true
+    (Proc.is_live (Machine.proc_exn m pid));
+  Alcotest.(check string) "serving again" "SET-OK" (Test_core.request m "S");
+  Fault.reset ()
+
+(* ---------- guarded rollout chaos soak ---------- *)
+
+let test_guarded_chaos_soak () =
+  Fault.reset ();
+  let app = Workload.ngx in
+  let blocks = Common.web_feature_blocks app in
+  let c = Workload.spawn app in
+  Workload.wait_ready c;
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let get = "GET /index.html HTTP/1.0\r\n\r\n" in
+  let answers () =
+    let resp = Workload.rpc c get in
+    Alcotest.(check bool)
+      (Printf.sprintf "GET answered (got %S)" resp)
+      true
+      (String.length resp > 0
+      && String.sub resp 0 (min 12 (String.length resp)) = "HTTP/1.0 200")
+  in
+  answers ();
+  let rng = Rng.create 4242 in
+  let policy = { Dynacut.method_ = `First_byte; on_trap = `Redirect "ngx_declined" } in
+  let config = { Supervisor.default_config with Supervisor.canary_windows = 1 } in
+  let chaos_sites = List.map fst Fault.known_sites in
+  let drive () = ignore (Workload.rpc ~max_cycles:800_000 c get) in
+  for _cycle = 1 to 10 do
+    Fault.reset ();
+    Fault.arm (Rng.choose rng chaos_sites) Fault.One_shot;
+    let sup = Supervisor.create session ~config ~blocks ~policy in
+    (match Supervisor.guarded_cut sup ~canary:true ~drive () with
+    | Supervisor.R_promoted ->
+        drive ();
+        Supervisor.tick sup;
+        (* the armed fault may fire here instead; a rolled-back reenable
+           just leaves the feature blocked — still serving *)
+        ignore (Dynacut.try_reenable session (Supervisor.journals sup))
+    | Supervisor.R_canary_rejected | Supervisor.R_promotion_failed
+    | Supervisor.R_rolled_back _ ->
+        ());
+    Fault.reset ();
+    (* the invariant: whatever the fault hit, ngx answers *)
+    answers ()
+  done;
+  Alcotest.(check bool) "server alive after soak" true
+    (Proc.is_live (Machine.proc_exn c.Workload.m c.Workload.pid));
+  (* every site this run reached is in the static registry *)
+  let known = List.map fst Fault.known_sites in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("site registered: " ^ s) true (List.mem s known))
+    (Fault.sites ())
+
+(* ---------- the static site registry ---------- *)
+
+let test_known_sites_registry () =
+  let known = List.map fst Fault.known_sites in
+  let expected =
+    cut_sites
+    @ [
+        "restore.tcp_repair";
+        "restore.respawn";
+        "rewrite.unmap";
+        "crit.encode";
+        "crit.decode";
+        "supervisor.promote";
+        "supervisor.reenable";
+      ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("registered: " ^ s) true (List.mem s known))
+    expected;
+  (* the registry holds nothing beyond the sites the suites exercise *)
+  Alcotest.(check int) "registry size" (List.length expected) (List.length known);
+  List.iter
+    (fun (_, desc) ->
+      Alcotest.(check bool) "described" true (String.length desc > 0))
+    Fault.known_sites
+
 let suite =
   List.map
     (fun site ->
@@ -229,4 +437,13 @@ let suite =
       Alcotest.test_case "degrade falls back to first-byte" `Quick
         test_degrade_falls_back_to_first_byte;
       Alcotest.test_case "chaos soak vs ngx" `Slow test_chaos_soak_ngx;
+      Alcotest.test_case "promote fault: fleet stays atomic" `Quick
+        test_promote_fault_fleet_invariant;
+      Alcotest.test_case "reenable fault: cut stays intact, retried" `Quick
+        test_reenable_fault_leaves_cut_intact;
+      Alcotest.test_case "respawn fault: retried next tick" `Quick
+        test_respawn_fault_retried;
+      Alcotest.test_case "guarded rollout chaos soak" `Slow test_guarded_chaos_soak;
+      Alcotest.test_case "fault-site registry complete" `Quick
+        test_known_sites_registry;
     ]

@@ -1,0 +1,351 @@
+(** Supervisor tests: the full circuit-breaker lifecycle (trap storm →
+    trip → auto re-enable → half-open probe → re-close → abandon), the
+    canary protocol on a master/worker tree, crash-loop respawn, and
+    verifier feedback — each replaying bit-for-bit from a fixed seed. *)
+
+let exe () = Crt0.link_app ~libc:Test_machine.libc Test_core.dispatch_server
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_log_mentions log needles =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("log mentions " ^ needle) true (contains ~needle log))
+    needles
+
+(** A deliberately bad cut for dsrv: the blocks only wanted GET traffic
+    covers. Under [`Redirect "err_path"] the same-function filter keeps
+    exactly the G dispatch arm inside [handle], so every subsequent GET
+    traps — a deterministic trap storm. *)
+let storm_blocks () =
+  let wanted = Test_core.trace_run [ "S"; "X"; "S" ] in
+  let undesired = Test_core.trace_run [ "G"; "G" ] in
+  (Tracediff.feature_blocks ~wanted:[ wanted ] ~undesired:[ undesired ] ())
+    .Tracediff.undesired
+
+let redirect_policy =
+  { Dynacut.method_ = `First_byte; on_trap = `Redirect "err_path" }
+
+(** Snapshot the first byte of every block (the bytes a `First_byte cut
+    patches) in a pid's memory. *)
+let block_bytes m pid blocks =
+  let base = (exe ()).Self.base in
+  let p = Machine.proc_exn m pid in
+  List.map
+    (fun (b : Covgraph.block) ->
+      Mem.peek8 p.Proc.mem (Int64.add base (Int64.of_int b.Covgraph.b_off)))
+    blocks
+
+(* ---------- breaker lifecycle ---------- *)
+
+let lifecycle_config =
+  {
+    Supervisor.default_config with
+    Supervisor.window = 5_000_000L;
+    max_traps = 2;
+    cooldown = 10_000_000L;
+    max_trips = 2;
+    canary_windows = 1;
+  }
+
+(** One full lifecycle run; returns the rendered event log so two runs
+    from the same seed can be compared bit-for-bit. *)
+let lifecycle_run () =
+  Fault.reset ();
+  let blocks = storm_blocks () in
+  let m, p = Test_core.boot () in
+  let pid = p.Proc.pid in
+  let session = Dynacut.create m ~root_pid:pid in
+  let sup =
+    Supervisor.create session ~config:lifecycle_config ~blocks
+      ~policy:redirect_policy
+  in
+  let pristine = block_bytes m pid blocks in
+  (match Supervisor.guarded_cut sup ~canary:false ~drive:(fun () -> ()) () with
+  | Supervisor.R_promoted -> ()
+  | r -> Alcotest.failf "cut: %a" Supervisor.pp_rollout r);
+  Alcotest.(check string) "S unaffected" "SET-OK" (Test_core.request m "S");
+  (* the S above bumped the counter: wanted GETs now answer VAL=8 *)
+  (* the storm: wanted GETs now land on the error path *)
+  for _ = 1 to 3 do
+    Alcotest.(check string) "G storms" "ERR" (Test_core.request m "G")
+  done;
+  (* 3 traps > max_traps: trip #1, auto re-enable, breaker opens *)
+  Supervisor.tick sup;
+  (match Supervisor.breaker_state sup with
+  | Supervisor.Open _ -> ()
+  | b -> Alcotest.failf "expected open, got %a" Supervisor.pp_breaker b);
+  Alcotest.(check int) "one trip" 1 (Supervisor.trips sup);
+  Alcotest.(check bool) "journals gone" false (Supervisor.cut_live sup);
+  Alcotest.(check string) "G auto-restored" "VAL=8" (Test_core.request m "G");
+  Alcotest.(check (list int)) "byte-identical after re-enable" pristine
+    (block_bytes m pid blocks);
+  (* still cooling down: a tick inside the cooldown is a no-op *)
+  Supervisor.tick sup;
+  Alcotest.(check bool) "still open" true
+    (match Supervisor.breaker_state sup with Supervisor.Open _ -> true | _ -> false);
+  (* virtual idle time passes; the next tick half-open probes (re-cut) *)
+  m.Machine.clock <- Int64.add m.Machine.clock lifecycle_config.Supervisor.cooldown;
+  Supervisor.tick sup;
+  (match Supervisor.breaker_state sup with
+  | Supervisor.Half_open _ -> ()
+  | b -> Alcotest.failf "expected half-open, got %a" Supervisor.pp_breaker b);
+  Alcotest.(check bool) "probe re-cut live" true (Supervisor.cut_live sup);
+  (* a healthy window closes the breaker again *)
+  m.Machine.clock <- Int64.add m.Machine.clock lifecycle_config.Supervisor.window;
+  Supervisor.tick sup;
+  Alcotest.(check bool) "re-closed" true
+    (Supervisor.breaker_state sup = Supervisor.Closed);
+  (* second storm: trip #2 = max_trips — the cut is abandoned for good *)
+  for _ = 1 to 3 do
+    Alcotest.(check string) "G storms again" "ERR" (Test_core.request m "G")
+  done;
+  Supervisor.tick sup;
+  Alcotest.(check bool) "abandoned" true
+    (Supervisor.breaker_state sup = Supervisor.Abandoned);
+  Alcotest.(check int) "two trips" 2 (Supervisor.trips sup);
+  Alcotest.(check string) "feature stays enabled" "VAL=8" (Test_core.request m "G");
+  Alcotest.(check (list int)) "byte-identical after abandon" pristine
+    (block_bytes m pid blocks);
+  (* an abandoned breaker never re-cuts, however long we wait *)
+  m.Machine.clock <- Int64.add m.Machine.clock 100_000_000L;
+  Supervisor.tick sup;
+  Alcotest.(check bool) "stays abandoned" true
+    (Supervisor.breaker_state sup = Supervisor.Abandoned);
+  Supervisor.render_log sup
+
+let test_breaker_lifecycle () =
+  let log = lifecycle_run () in
+  check_log_mentions log
+    [
+      "cut-applied";
+      "breaker-tripped traps=3 trip=1";
+      "reenabled";
+      "half-open-probe";
+      "probe-recut";
+      "breaker-closed";
+      "breaker-tripped traps=3 trip=2";
+      "abandoned";
+    ]
+
+let test_breaker_replay () =
+  let a = lifecycle_run () in
+  let b = lifecycle_run () in
+  Alcotest.(check string) "two runs render identical event logs" a b
+
+(* ---------- canary rollout on a master/worker tree ---------- *)
+
+(** A maximally bad cut for ngx: the wanted GET path under `Terminate —
+    the first GET kills the process that serves it. The canary must
+    absorb the blast; the master must never see the cut. *)
+let ngx_storm_block () =
+  Supervisor.block_of_sym (Common.app_exe Workload.ngx) ~module_:"ngx"
+    ~sym:"ngx_http_get"
+
+let canary_run () =
+  Fault.reset ();
+  let c = Workload.spawn Workload.ngx in
+  Workload.wait_ready c;
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let pids = Dynacut.tree_pids session in
+  Alcotest.(check int) "master + worker" 2 (List.length pids);
+  let master = c.Workload.pid in
+  let worker = List.hd (List.rev (List.filter (fun p -> p <> master) pids)) in
+  let block = ngx_storm_block () in
+  let vaddr =
+    Int64.add (Common.app_exe Workload.ngx).Self.base
+      (Int64.of_int block.Covgraph.b_off)
+  in
+  let byte_at pid =
+    Mem.peek8 (Machine.proc_exn c.Workload.m pid).Proc.mem vaddr
+  in
+  let orig = byte_at worker in
+  Alcotest.(check int) "same binary" orig (byte_at master);
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.canary_windows = 1 }
+      ~blocks:[ block ]
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Terminate }
+  in
+  let drive () =
+    ignore
+      (Workload.rpc ~max_cycles:800_000 c (Workload.http_get "/index.html"))
+  in
+  let rollout = Supervisor.guarded_cut sup ~canary:true ~drive () in
+  Alcotest.(check bool) "canary rejected" true
+    (rollout = Supervisor.R_canary_rejected);
+  (* the bad cut never reached the master... *)
+  Alcotest.(check int) "master untouched" orig (byte_at master);
+  Alcotest.(check bool) "master alive" true
+    (Proc.is_live (Machine.proc_exn c.Workload.m master));
+  (* ...and the canary was reverted byte-identically (respawned from its
+     pristine image after the storm killed it) *)
+  Alcotest.(check int) "canary byte-original" orig (byte_at worker);
+  Alcotest.(check bool) "canary alive again" true
+    (Proc.is_live (Machine.proc_exn c.Workload.m worker));
+  (* the tree serves wanted traffic as if nothing happened *)
+  let resp = Workload.rpc c (Workload.http_get "/index.html") in
+  Alcotest.(check bool)
+    (Printf.sprintf "GET 200 after rejection (got %S)" resp)
+    true
+    (String.length resp >= 12 && String.sub resp 0 12 = "HTTP/1.0 200");
+  Supervisor.render_log sup
+
+let test_canary_rejects_bad_cut () =
+  let log = canary_run () in
+  check_log_mentions log [ "canary-cut"; "canary-rejected" ]
+
+let test_canary_replay () =
+  let a = canary_run () in
+  let b = canary_run () in
+  Alcotest.(check string) "two canary runs render identical logs" a b
+
+(* ---------- healthy canary promotes ---------- *)
+
+let test_canary_promotes_good_cut () =
+  Fault.reset ();
+  let c = Workload.spawn Workload.ngx in
+  Workload.wait_ready c;
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let blocks = Common.web_feature_blocks Workload.ngx in
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.canary_windows = 1 }
+      ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect "ngx_declined" }
+  in
+  let drive () =
+    ignore (Workload.rpc ~max_cycles:800_000 c (Workload.http_get "/index.html"))
+  in
+  (match Supervisor.guarded_cut sup ~canary:true ~drive () with
+  | Supervisor.R_promoted -> ()
+  | r -> Alcotest.failf "expected promotion: %a" Supervisor.pp_rollout r);
+  (* every pid carries the cut: the first byte of each effective block
+     is int3 in both master and worker *)
+  let effective = Dynacut.redirect_filter session ~sym:"ngx_declined" blocks in
+  Alcotest.(check bool) "effective blocks nonempty" true (effective <> []);
+  let base = (Common.app_exe Workload.ngx).Self.base in
+  List.iter
+    (fun pid ->
+      let p = Machine.proc_exn c.Workload.m pid in
+      List.iter
+        (fun (b : Covgraph.block) ->
+          Alcotest.(check int)
+            (Printf.sprintf "pid %d off 0x%x cut" pid b.Covgraph.b_off)
+            0xCC
+            (Mem.peek8 p.Proc.mem (Int64.add base (Int64.of_int b.Covgraph.b_off))))
+        effective)
+    (Dynacut.tree_pids session);
+  (* the feature is blocked, wanted traffic unaffected *)
+  let put = Workload.rpc c (Workload.http_put "/up.txt" "data") in
+  Alcotest.(check bool) (Printf.sprintf "PUT blocked (got %S)" put) true
+    (String.length put >= 12 && String.sub put 0 12 = "HTTP/1.0 403");
+  let get = Workload.rpc c (Workload.http_get "/index.html") in
+  Alcotest.(check bool) "GET still 200" true
+    (String.length get >= 12 && String.sub get 0 12 = "HTTP/1.0 200")
+
+(* ---------- crash-loop respawn ---------- *)
+
+let test_crash_loop_respawn () =
+  Fault.reset ();
+  let blocks = storm_blocks () in
+  let m, p = Test_core.boot () in
+  let pid = p.Proc.pid in
+  let session = Dynacut.create m ~root_pid:pid in
+  let sup =
+    Supervisor.create session
+      ~config:
+        {
+          Supervisor.default_config with
+          Supervisor.max_traps = 1000;  (* keep the breaker out of the way *)
+          max_respawns = 2;
+        }
+      ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Kill }
+  in
+  (match Supervisor.guarded_cut sup ~canary:false ~drive:(fun () -> ()) () with
+  | Supervisor.R_promoted -> ()
+  | r -> Alcotest.failf "cut: %a" Supervisor.pp_rollout r);
+  let dead () = not (Proc.is_live (Machine.proc_exn m pid)) in
+  (* the storm kills the server outright (un-redirected SIGTRAP)... *)
+  let (_ : string) = Test_core.request m "G" in
+  Alcotest.(check bool) "killed by the storm" true (dead ());
+  (* ...the supervisor respawns it from the working image, cut intact *)
+  Supervisor.tick sup;
+  Alcotest.(check bool) "respawned" true (not (dead ()));
+  Alcotest.(check string) "cut survived the respawn" "SET-OK"
+    (Test_core.request m "S");
+  let exe = exe () in
+  let b = List.hd (Dynacut.redirect_filter session ~sym:"err_path" blocks) in
+  Alcotest.(check int) "respawned image still carries int3" 0xCC
+    (Mem.peek8 (Machine.proc_exn m pid).Proc.mem
+       (Int64.add exe.Self.base (Int64.of_int b.Covgraph.b_off)));
+  (* crash again: second (and last budgeted) respawn *)
+  let (_ : string) = Test_core.request m "G" in
+  Supervisor.tick sup;
+  Alcotest.(check bool) "respawned again" true (not (dead ()));
+  (* third crash exhausts the budget: the supervisor gives up *)
+  let (_ : string) = Test_core.request m "G" in
+  Supervisor.tick sup;
+  Alcotest.(check bool) "respawn budget exhausted" true (dead ());
+  check_log_mentions (Supervisor.render_log sup)
+    [ "respawned"; "deaths=1"; "deaths=2"; "respawn-capped" ]
+
+(* ---------- verifier feedback ---------- *)
+
+let test_verifier_feedback_shrinks_cut () =
+  Fault.reset ();
+  let m, p = Test_core.boot () in
+  let pid = p.Proc.pid in
+  let exe = exe () in
+  let get_entry = Option.get (Self.find_symbol exe "do_get") in
+  (* the real feature plus a deliberate false positive: do_get's entry *)
+  let fp =
+    { Covgraph.b_module = "dsrv"; b_off = get_entry.Self.sym_off; b_size = 3 }
+  in
+  let blocks = Test_core.feature_blocks () @ [ fp ] in
+  let session = Dynacut.create m ~root_pid:pid in
+  let sup =
+    Supervisor.create session ~config:Supervisor.default_config ~blocks
+      ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Verify }
+  in
+  (match Supervisor.guarded_cut sup ~canary:false ~drive:(fun () -> ()) () with
+  | Supervisor.R_promoted -> ()
+  | r -> Alcotest.failf "cut: %a" Supervisor.pp_rollout r);
+  (* nothing logged yet: feedback is a no-op *)
+  Alcotest.(check int) "no false positives yet" 0 (Supervisor.verifier_feedback sup);
+  (* the wanted GET trips the verifier, which restores the byte and logs
+     the address (§3.2.3) — and the request still succeeds *)
+  Alcotest.(check string) "GET survives verification" "VAL=7" (Test_core.request m "G");
+  Alcotest.(check int) "one false positive folded back" 1
+    (Supervisor.verifier_feedback sup);
+  (* the supervisor re-cut the shrunk set: do_get is out, the cut is live *)
+  Alcotest.(check bool) "shrunk set excludes do_get" false
+    (List.exists
+       (fun (b : Covgraph.block) -> b.Covgraph.b_off = get_entry.Self.sym_off)
+       (Supervisor.blocks sup));
+  Alcotest.(check bool) "re-cut live" true (Supervisor.cut_live sup);
+  (* GETs now run trap-free *)
+  Alcotest.(check string) "GET fast path" "VAL=7" (Test_core.request m "G");
+  Alcotest.(check int) "log did not grow" 1
+    (List.length (Dynacut.verifier_log session ~pid));
+  check_log_mentions (Supervisor.render_log sup) [ "verifier-shrunk dropped=1" ]
+
+let suite =
+  [
+    Alcotest.test_case "breaker lifecycle: storm, trip, probe, abandon" `Quick
+      test_breaker_lifecycle;
+    Alcotest.test_case "breaker lifecycle replays bit-for-bit" `Quick
+      test_breaker_replay;
+    Alcotest.test_case "canary absorbs a bad cut" `Quick test_canary_rejects_bad_cut;
+    Alcotest.test_case "canary rollout replays bit-for-bit" `Quick test_canary_replay;
+    Alcotest.test_case "healthy canary promotes to the tree" `Quick
+      test_canary_promotes_good_cut;
+    Alcotest.test_case "crash-loop respawn with backoff cap" `Quick
+      test_crash_loop_respawn;
+    Alcotest.test_case "verifier feedback shrinks and re-cuts" `Quick
+      test_verifier_feedback_shrinks_cut;
+  ]
