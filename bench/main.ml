@@ -59,6 +59,81 @@ let run_micro () =
     (micro_tests ());
   Format.fprintf fmt "@."
 
+(* ---------- robustness: journaling overhead + recovery time ---------- *)
+
+(* The §5d cost/benefit ledger: what the write-ahead journal adds to cut
+   latency and restore downtime (journal on vs. off), and what it buys —
+   the time to recover a tree after a worst-case controller death (mid
+   pid-replace, every pid rolled back from its pristine image). Emits
+   BENCH_robustness.json for the perf trajectory. *)
+let run_robustness () =
+  Common.section fmt "Robustness: journaling overhead + crash recovery";
+  let app = Workload.ngx in
+  let blocks = Common.web_feature_blocks app in
+  let policy =
+    { Dynacut.method_ = `First_byte; on_trap = `Redirect "ngx_declined" }
+  in
+  let iters = 5 in
+  (* one sample = boot, cut, re-enable on a fresh fleet *)
+  let sample ~journal =
+    Fault.reset ();
+    let c = Workload.spawn app in
+    Workload.wait_ready c;
+    let s = Dynacut.create ~journal c.Workload.m ~root_pid:c.Workload.pid in
+    let r = Dynacut.try_cut s ~blocks ~policy () in
+    let re = Dynacut.try_reenable s r.Dynacut.r_journals in
+    (match (r.Dynacut.r_outcome, re.Dynacut.r_outcome) with
+    | (`Applied | `Degraded), (`Applied | `Degraded) -> ()
+    | _ -> failwith "robustness: benchmark cut did not apply");
+    let t = r.Dynacut.r_timings in
+    ( Dynacut.total_time t,
+      t.Dynacut.t_restore,
+      Dynacut.total_time re.Dynacut.r_timings )
+  in
+  let collect ~journal = List.init iters (fun _ -> sample ~journal) in
+  let mean f l =
+    List.fold_left (fun a x -> a +. f x) 0. l /. float_of_int (List.length l)
+  in
+  let on = collect ~journal:true and off = collect ~journal:false in
+  let cut1 (a, _, _) = a and rst (_, b, _) = b and re3 (_, _, c) = c in
+  (* worst-case crash: the controller dies replacing the last pid, so
+     recovery has every pid to reap and re-create from pristine *)
+  Fault.reset ();
+  let c = Workload.spawn app in
+  Workload.wait_ready c;
+  let s = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let npids = List.length (Dynacut.tree_pids s) in
+  Fault.arm ~kill:true "restore.process" (Fault.Every_nth npids);
+  (match Dynacut.try_cut s ~blocks ~policy () with
+  | (_ : Dynacut.cut_result) -> failwith "robustness: controller survived"
+  | exception Fault.Controller_killed _ -> ());
+  Fault.reset ();
+  let rcv, t_recover =
+    Stats.time_it (fun () ->
+        Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid)
+  in
+  if rcv.Dynacut.rec_action <> `Rolled_back then
+    failwith "robustness: worst-case crash did not roll back";
+  let rows =
+    [
+      ("cut_total_s_journal_on", mean cut1 on);
+      ("cut_total_s_journal_off", mean cut1 off);
+      ("restore_downtime_s_journal_on", mean rst on);
+      ("restore_downtime_s_journal_off", mean rst off);
+      ("reenable_total_s_journal_on", mean re3 on);
+      ("reenable_total_s_journal_off", mean re3 off);
+      ("recover_worst_case_s", t_recover);
+    ]
+  in
+  List.iter (fun (k, v) -> Format.fprintf fmt "  %-34s %.6f s@." k v) rows;
+  let oc = open_out "BENCH_robustness.json" in
+  Printf.fprintf oc "{\n  \"app\": %S,\n  \"iters\": %d,\n  \"pids\": %d" app.Workload.a_name
+    iters npids;
+  List.iter (fun (k, v) -> Printf.fprintf oc ",\n  %S: %.6f" k v) rows;
+  Printf.fprintf oc "\n}\n";
+  close_out oc;
+  Format.fprintf fmt "  wrote BENCH_robustness.json@."
+
 (* ---------- experiment registry ---------- *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -73,6 +148,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("table1", "Redis CVE mitigation", fun () -> ignore (Table1.run fmt));
     ("security", "PLT removal + BROP gadget census (§4.2)", fun () -> ignore (Security.run fmt));
     ("ablation", "policy / normalization / autophase / libcut ablations", fun () -> ignore (Ablation.run fmt));
+    ("robustness", "journaling overhead + crash-recovery time (§5d)", run_robustness);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 

@@ -53,19 +53,34 @@ let print_fault_sites () =
 let inject_fault_arg =
   let doc =
     "Arm a deterministic fault at a pipeline site before cutting \
-     (repeatable). $(docv) is SITE[:once|nth=N|p=F][:transient], e.g. \
+     (repeatable). $(docv) is SITE[:once|nth=N|p=F][:transient][:kill], e.g. \
      'criu.save', 'restore.tcp_repair:nth=2', 'rewrite.patch:once:transient'. \
-     See --list-fault-sites for the full site registry."
+     ':kill' makes the fault simulate controller death (no rollback runs; \
+     recover with $(b,dynacut recover)). See --list-fault-sites for the \
+     full site registry."
   in
   Arg.(value & opt_all string [] & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
 
-let arm_faults specs =
+let fault_seed_arg =
+  let doc =
+    "Seed for the fault scheduler's PRNG (probabilistic 'p=F' specs draw \
+     from it). The seed in use is printed so any chaos run can be \
+     replayed bit-for-bit."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let arm_faults ?seed specs =
   Fault.reset ();
+  (match seed with
+  | None -> ()
+  | Some n ->
+      Fault.seed n;
+      Printf.printf "fault-seed %d\n" n);
   List.iter
     (fun spec_str ->
       try
-        let site, spec, transient = Fault.parse_spec spec_str in
-        Fault.arm ~transient site spec
+        let site, spec, transient, kill = Fault.parse_spec spec_str in
+        Fault.arm ~transient ~kill site spec
       with Invalid_argument e ->
         Printf.eprintf "bad --inject-fault %S: %s\n" spec_str e;
         exit 2)
@@ -151,7 +166,10 @@ let tracediff_cmd =
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
-    Drcov.of_string s
+    try Drcov.of_string s
+    with Drcov.Drcov_malformed { offset; reason } ->
+      Printf.eprintf "malformed drcov log %s: line %d: %s\n" path offset reason;
+      exit 2
   in
   let action wanted undesired =
     let report =
@@ -163,7 +181,16 @@ let tracediff_cmd =
     Format.printf "%a" Tracediff.pp_report report
   in
   let doc = "Diff wanted vs undesired coverage logs (the paper's tracediff.py)." in
-  Cmd.v (Cmd.info "tracediff" ~doc) Term.(const action $ wanted $ undesired)
+  let man =
+    [
+      `S "EXIT STATUS";
+      `P "0: report printed.";
+      `P
+        "2: a drcov log was malformed (truncated, bit-flipped, or \
+         trailing garbage); the offending file and line are reported.";
+    ]
+  in
+  Cmd.v (Cmd.info "tracediff" ~doc ~man) Term.(const action $ wanted $ undesired)
 
 (* ---------- cut ---------- *)
 
@@ -204,7 +231,7 @@ let cut_cmd =
     let doc = "Re-enable the feature afterwards and probe again." in
     Arg.(value & flag & info [ "reenable" ] ~doc)
   in
-  let action app feature probes reenable faults list_sites =
+  let action app feature probes reenable faults seed list_sites =
     if list_sites then begin
       print_fault_sites ();
       exit 0
@@ -218,7 +245,7 @@ let cut_cmd =
           exit 2
     in
     let blocks, redirect = feature_blocks app feature in
-    arm_faults faults;
+    arm_faults ?seed faults;
     let c = Workload.spawn app in
     Workload.wait_ready c;
     let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
@@ -260,7 +287,7 @@ let cut_cmd =
     (Cmd.info "cut" ~doc ~man:(exit_status_man []))
     Term.(
       const action $ app_opt_arg $ feature $ probe $ reenable $ inject_fault_arg
-      $ list_fault_sites_arg)
+      $ fault_seed_arg $ list_fault_sites_arg)
 
 (* ---------- guard ---------- *)
 
@@ -326,7 +353,7 @@ let guard_cmd =
         exit 2
   in
   let action app feature probes canary storm window max_traps cooldown max_trips
-      max_respawns slices faults list_sites =
+      max_respawns slices faults seed list_sites =
     if list_sites then begin
       print_fault_sites ();
       exit 0
@@ -351,7 +378,7 @@ let guard_cmd =
           `Terminate )
       else (blocks, `Redirect redirect)
     in
-    arm_faults faults;
+    arm_faults ?seed faults;
     let c = Workload.spawn app in
     Workload.wait_ready c;
     let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
@@ -420,7 +447,110 @@ let guard_cmd =
     Term.(
       const action $ app_opt_arg $ feature $ probe $ canary $ storm $ window
       $ max_traps $ cooldown $ max_trips $ max_respawns $ slices
-      $ inject_fault_arg $ list_fault_sites_arg)
+      $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg)
+
+(* ---------- recover ---------- *)
+
+let recover_cmd =
+  let feature =
+    let doc = "Feature the dead controller was cutting (same choices as \
+               $(b,cut)); default put-delete for the web servers, SET for rkv." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+  in
+  let probe =
+    let doc = "Request to send to the recovered server (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "r"; "request" ] ~docv:"REQ" ~doc)
+  in
+  let crash_at =
+    let doc =
+      "Stage the crash: arm a kill-mode fault at site $(docv) (see \
+       --list-fault-sites), run a cut that dies there mid-flight, then \
+       recover the orphaned tree as a fresh controller. Without this \
+       flag the command just runs recovery on whatever journal the \
+       tree's tmpfs holds."
+    in
+    Arg.(value & opt (some string) None & info [ "crash-at" ] ~docv:"SITE" ~doc)
+  in
+  let action app feature probes crash_at faults seed list_sites =
+    if list_sites then begin
+      print_fault_sites ();
+      exit 0
+    end;
+    let app = require_app app in
+    let feature =
+      match feature with
+      | Some f -> f
+      | None -> if app.Workload.a_name = "rkv" then "SET" else "put-delete"
+    in
+    let blocks, redirect = feature_blocks app feature in
+    arm_faults ?seed faults;
+    let c = Workload.spawn app in
+    Workload.wait_ready c;
+    (match crash_at with
+    | None -> ()
+    | Some site ->
+        if not (List.mem_assoc site Fault.known_sites) then begin
+          Printf.eprintf "unknown --crash-at site %S; see --list-fault-sites\n"
+            site;
+          exit 2
+        end;
+        Fault.arm ~kill:true site Fault.One_shot;
+        let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+        (match
+           Dynacut.try_cut session ~blocks
+             ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
+             ()
+         with
+        | _ ->
+            Printf.eprintf
+              "controller survived --crash-at %s (site never reached)\n" site;
+            exit 2
+        | exception Fault.Controller_killed { site = s } ->
+            Format.printf "controller killed at %s@." s));
+    match Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid with
+    | r ->
+        Format.printf "recover: %a@." Dynacut.pp_recovery r;
+        List.iter
+          (fun req ->
+            let req = Scanf.unescaped req in
+            Printf.printf ">> %S\n<< %S\n" req (Workload.rpc c req))
+          probes;
+        let code =
+          match r.Dynacut.rec_action with
+          | `Nothing -> 0
+          | `Thawed | `Rolled_back -> 6
+          | `Completed -> 7
+        in
+        exit code
+    | exception e ->
+        Printf.eprintf "recover failed: %s\n" (Printexc.to_string e);
+        exit 3
+  in
+  let doc =
+    "Recover a process tree orphaned by a dead controller from its \
+     crash-consistency journal."
+  in
+  let man =
+    [
+      `S "EXIT STATUS";
+      `P "0: the journal was absent or empty — nothing to recover.";
+      `P "2: usage error (unknown app, feature, or crash site), or the \
+          staged crash never fired.";
+      `P "3: recovery itself failed; the journal is intact, re-run it.";
+      `P
+        "6: an interrupted transaction was found and undone — the tree \
+         was thawed or rolled back to its pristine images and is \
+         byte-identical to its pre-cut state.";
+      `P
+        "7: the dead controller had already committed (or finished \
+         aborting); only its cleanup was lost and has been redone.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc ~man)
+    Term.(
+      const action $ app_opt_arg $ feature $ probe $ crash_at $ inject_fault_arg
+      $ fault_seed_arg $ list_fault_sites_arg)
 
 (* ---------- crit ---------- *)
 
@@ -509,6 +639,7 @@ let () =
             tracediff_cmd;
             cut_cmd;
             guard_cmd;
+            recover_cmd;
             crit_cmd;
             disasm_cmd;
             report_cmd;

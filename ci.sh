@@ -11,6 +11,12 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+# Crash-recovery matrix (DESIGN.md §5d): kill the controller at every
+# registered fault site mid-cut, recover, and assert each pid is fully
+# cut XOR fully original. The matrix fails on any site left unexercised.
+echo "== crash-recovery matrix =="
+dune exec examples/crash_matrix.exe
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
   dune build @fmt

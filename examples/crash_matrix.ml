@@ -1,0 +1,303 @@
+(** Crash-recovery matrix — the §5d acceptance gate, run by ci.sh.
+
+    For every site in [Fault.known_sites] the matrix stages a controller
+    death there (kill-mode fault: [Controller_killed] unwinds past the
+    transaction's own rollback, exactly like a dead process), then runs
+    [Dynacut.recover] as a fresh controller and asserts the §5d
+    invariant on the ngx fleet:
+
+    - {b applied XOR unchanged, per pid}: every worker's feature blocks
+      are all int3 or all original bytes — never mixed within a pid;
+    - the server still answers wanted traffic;
+    - the site actually fired (a site no scenario reaches fails the
+      matrix — the registry and the matrix must not drift apart).
+
+    Run with: dune exec examples/crash_matrix.exe *)
+
+exception Matrix_failure of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Matrix_failure s)) fmt
+
+let app = Workload.ngx
+let get = "GET /index.html HTTP/1.0\r\n\r\n"
+let put = "PUT /evil.html HTTP/1.0\r\n\r\nowned"
+
+let status resp =
+  match String.index_opt resp ' ' with
+  | Some k when String.length resp >= k + 4 -> String.sub resp (k + 1) 3
+  | _ -> "???"
+
+(* feature discovery is deterministic — do it once for all scenarios *)
+let blocks = Common.web_feature_blocks app
+
+let policy_for method_ =
+  { Dynacut.method_; on_trap = `Redirect "ngx_declined" }
+
+let boot () =
+  let c = Workload.spawn app in
+  Workload.wait_ready c;
+  c
+
+let byte_of (c : Workload.ctx) pid (b : Covgraph.block) =
+  Mem.peek8
+    (Machine.proc_exn c.Workload.m pid).Proc.mem
+    (Int64.add (Common.app_exe app).Self.base (Int64.of_int b.Covgraph.b_off))
+
+(* the per-pid XOR assertion: each pid fully cut (every effective block
+   starts with int3) or fully original, never a mix *)
+let assert_xor ~site ~what c session effective originals =
+  List.iter
+    (fun pid ->
+      let got = List.map (byte_of c pid) effective in
+      let all_cut = List.for_all (fun x -> x = 0xCC) got in
+      let all_orig = got = originals in
+      if not (all_cut || all_orig) then
+        fail "%s: %s: pid %d is half-patched (%s)" site what pid
+          (String.concat "," (List.map string_of_int got)))
+    (Dynacut.tree_pids session)
+
+let assert_serving ~site ~what c =
+  let s = status (Workload.rpc c get) in
+  if s <> "200" then fail "%s: %s: GET answered %s, not 200" site what s
+
+let assert_fired site =
+  if Fault.fired site <> 1 then
+    fail "%s: scenario finished but the site never fired" site
+
+(* ---------- scenarios ---------- *)
+
+(* Controller dies at [site] mid-cut; recovery must leave the fleet
+   fully original (the tx never committed), after which a clean cut
+   must still go through — both sides of the XOR. [tcp] keeps a client
+   connection open across the cut (restore.tcp_repair is only on the
+   path when there is a connection to repair). *)
+let plain ?(method_ = `First_byte) ?(tcp = false) site =
+  let c = boot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" blocks
+  in
+  let originals = List.map (byte_of c c.Workload.pid) effective in
+  let in_flight =
+    if tcp then begin
+      (* open a connection and let the server block in recv on it, so
+         the restore stage has TCP state to repair *)
+      let conn = Net.connect c.Workload.m.Machine.net Ngx.port in
+      ignore (Machine.run c.Workload.m ~max_cycles:500_000);
+      Some conn
+    end
+    else None
+  in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Dynacut.try_cut session ~blocks ~policy:(policy_for method_) () with
+  | (_ : Dynacut.cut_result) -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed { site = s } ->
+      if s <> site then fail "%s: died at %s instead" site s);
+  assert_fired site;
+  let (_ : Dynacut.recovery) =
+    Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid
+  in
+  assert_xor ~site ~what:"after recover" c session effective originals;
+  (* the repaired mid-cut connection survives the crash + rollback:
+     the server answers it before it accepts anything new *)
+  (match in_flight with
+  | None -> ()
+  | Some conn ->
+      Net.client_send conn get;
+      ignore (Machine.run c.Workload.m ~max_cycles:2_000_000);
+      let s = status (Net.client_recv conn) in
+      if s <> "200" then
+        fail "%s: in-flight request answered %s after recover" site s);
+  assert_serving ~site ~what:"after recover" c;
+  (* the tree must be cuttable again by a fresh controller *)
+  let fresh = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  (match
+     (Dynacut.try_cut fresh ~blocks ~policy:(policy_for `First_byte) ())
+       .Dynacut.r_outcome
+   with
+  | `Applied | `Degraded -> ()
+  | `Rolled_back rb ->
+      fail "%s: clean re-cut rolled back at %s" site rb.Dynacut.rb_stage);
+  assert_xor ~site ~what:"after re-cut" c fresh effective originals;
+  assert_serving ~site ~what:"after re-cut" c
+
+(* Controller dies mid-respawn of a dead worker; recovery redoes the
+   unmatched respawn intent and the fleet keeps its committed cut. *)
+let respawn site =
+  let c = boot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" blocks
+  in
+  let originals = List.map (byte_of c c.Workload.pid) effective in
+  let (_ : Rewriter.journal list * Dynacut.timings) =
+    Dynacut.cut session ~blocks ~policy:(policy_for `First_byte)
+  in
+  let worker =
+    match Dynacut.tree_pids session with
+    | _root :: w :: _ -> w
+    | _ -> fail "%s: ngx tree has no worker" site
+  in
+  Machine.reap c.Workload.m ~pid:worker;
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match
+     Dynacut.journaled_respawn session ~pid:worker
+       ~path:(Dynacut.image_path session worker)
+   with
+  | (_ : Proc.t) -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid in
+  if r.Dynacut.rec_respawned <> [ worker ] then
+    fail "%s: recovery did not redo the respawn" site;
+  assert_xor ~site ~what:"after recover" c session effective originals;
+  assert_serving ~site ~what:"after recover" c
+
+(* Controller dies between the canary commit and the fleet promotion:
+   the fleet is legitimately mixed across pids (canary cut, rest
+   original) but every single pid must still be all-or-nothing. *)
+let promote site =
+  let c = boot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" blocks
+  in
+  let originals = List.map (byte_of c c.Workload.pid) effective in
+  let sup =
+    Supervisor.create session
+      ~config:
+        { Supervisor.default_config with Supervisor.canary_windows = 1 }
+      ~blocks ~policy:(policy_for `First_byte)
+  in
+  let drive () = ignore (Workload.rpc ~max_cycles:800_000 c get) in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Supervisor.guarded_cut sup ~canary:true ~drive () with
+  | (_ : Supervisor.rollout) -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let (_ : Dynacut.recovery) =
+    Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid
+  in
+  assert_xor ~site ~what:"after recover" c session effective originals;
+  assert_serving ~site ~what:"after recover" c
+
+(* Controller dies as the breaker trips and tries to re-enable: the cut
+   stays committed fleet-wide — still XOR-consistent. *)
+let reenable site =
+  let c = boot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" blocks
+  in
+  let originals = List.map (byte_of c c.Workload.pid) effective in
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.critical = true }
+      ~blocks ~policy:(policy_for `First_byte)
+  in
+  let drive () = ignore (Workload.rpc ~max_cycles:800_000 c get) in
+  (match Supervisor.guarded_cut sup ~canary:false ~drive () with
+  | Supervisor.R_promoted -> ()
+  | r -> fail "%s: rollout failed: %s" site (Format.asprintf "%a" Supervisor.pp_rollout r));
+  (* one undesired request traps in the handler; critical = any trap
+     trips the breaker on the next tick *)
+  ignore (Workload.rpc ~max_cycles:800_000 c put);
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Supervisor.tick sup with
+  | () -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let (_ : Dynacut.recovery) =
+    Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid
+  in
+  assert_xor ~site ~what:"after recover" c session effective originals;
+  assert_serving ~site ~what:"after recover" c
+
+(* Controller dies inside the crit tool: no transaction was open, so
+   recovery finds nothing and the fleet is untouched. *)
+let crit site =
+  let c = boot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" blocks
+  in
+  let originals = List.map (byte_of c c.Workload.pid) effective in
+  Machine.freeze c.Workload.m ~pid:c.Workload.pid;
+  let img = Checkpoint.dump c.Workload.m ~pid:c.Workload.pid () in
+  Machine.thaw c.Workload.m ~pid:c.Workload.pid;
+  let blob = Images.encode img in
+  let text = Crit.decode_to_text blob in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match
+     if site = "crit.decode" then ignore (Crit.decode_to_text blob)
+     else ignore (Crit.encode_from_text text)
+   with
+  | () -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid in
+  if r.Dynacut.rec_action <> `Nothing then
+    fail "%s: recovery invented work on a quiescent tree" site;
+  assert_xor ~site ~what:"after recover" c session effective originals;
+  assert_serving ~site ~what:"after recover" c
+
+(* Controller dies mid-cut AND the first recovery pass dies too; the
+   second recovery pass must converge all the same. *)
+let recover_crash site =
+  let c = boot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" blocks
+  in
+  let originals = List.map (byte_of c c.Workload.pid) effective in
+  Fault.arm ~kill:true "restore.process" Fault.One_shot;
+  (match Dynacut.try_cut session ~blocks ~policy:(policy_for `First_byte) () with
+  | (_ : Dynacut.cut_result) -> fail "%s: first controller survived" site
+  | exception Fault.Controller_killed _ -> ());
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid with
+  | (_ : Dynacut.recovery) -> fail "%s: recovery survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid in
+  if r.Dynacut.rec_action <> `Rolled_back then
+    fail "%s: second recovery pass did not roll back" site;
+  assert_xor ~site ~what:"after recover" c session effective originals;
+  assert_serving ~site ~what:"after recover" c
+
+(* every registered site maps to exactly one crash scenario; a new site
+   without a mapping fails the matrix rather than silently shrinking it *)
+let scenario_of_site = function
+  | ( "criu.checkpoint" | "criu.save" | "criu.load" | "rewrite.patch"
+    | "inject.lib" | "inject.policy" | "restore.process" | "journal.lock"
+    | "journal.append" ) as s ->
+      plain s
+  | "rewrite.unmap" as s -> plain ~method_:`Unmap_pages s
+  | "restore.tcp_repair" as s -> plain ~tcp:true s
+  | "restore.respawn" as s -> respawn s
+  | "supervisor.promote" as s -> promote s
+  | "supervisor.reenable" as s -> reenable s
+  | "crit.encode" as s -> crit s
+  | "crit.decode" as s -> crit s
+  | "recover.replay" as s -> recover_crash s
+  | s -> fail "site %s has no crash scenario — extend crash_matrix.ml" s
+
+let () =
+  let sites = List.map fst Fault.known_sites in
+  let failures = ref 0 in
+  List.iter
+    (fun site ->
+      Fault.reset ();
+      match scenario_of_site site with
+      | () -> Printf.printf "%-22s ok\n%!" site
+      | exception Matrix_failure msg ->
+          incr failures;
+          Printf.printf "%-22s FAIL: %s\n%!" site msg)
+    sites;
+  if !failures > 0 then begin
+    Printf.printf "crash matrix: %d of %d sites FAILED\n" !failures
+      (List.length sites);
+    exit 1
+  end;
+  Printf.printf "crash matrix: all %d sites survived controller death\n"
+    (List.length sites)

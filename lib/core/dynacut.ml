@@ -41,6 +41,11 @@ type session = {
   root_pid : int;
   handler_lib : Self.t;
   tmpfs : string;  (** tmpfs directory for the images (§3.3) *)
+  journal : Journal.t option;
+      (** the crash-consistency journal (DESIGN.md §5d); [None] only
+          when the session was created with [~journal:false] *)
+  epoch : int;  (** this controller's fencing token *)
+  mutable next_txid : int;
   mutable lib_bases : (int * int64) list;  (** pid -> injected handler base *)
   mutable cut_count : int;
   mutable table_mode : int64;  (** current handler mode for the whole table *)
@@ -51,18 +56,30 @@ type session = {
 
 exception Dynacut_error of string
 
-let create (machine : Machine.t) ~(root_pid : int) : session =
+let create ?(journal = true) (machine : Machine.t) ~(root_pid : int) : session =
   (* the handler library is built against the libc the target linked *)
   let libc =
     match Vfs.find_self machine.Machine.fs "libc.so" with
     | Some l -> l
     | None -> raise (Dynacut_error "libc.so not present in target filesystem")
   in
+  let tmpfs = Printf.sprintf "/tmpfs/dynacut-%d" root_pid in
+  let journal =
+    if journal then Some (Journal.attach machine.Machine.fs ~dir:tmpfs) else None
+  in
+  (* one past whatever epoch the tree last saw, so a fresh controller
+     outranks any stale lock a dead one left behind *)
+  let epoch =
+    match journal with Some j -> Journal.lock_epoch j + 1 | None -> 1
+  in
   {
     machine;
     root_pid;
     handler_lib = Handler.build ~libc ();
-    tmpfs = Printf.sprintf "/tmpfs/dynacut-%d" root_pid;
+    tmpfs;
+    journal;
+    epoch;
+    next_txid = 1;
     lib_bases = [];
     cut_count = 0;
     table_mode = Handler.mode_terminate;
@@ -123,16 +140,22 @@ let reset_working s pids =
       | None -> ())
     pids
 
-(* stage 1: freeze the tree and checkpoint every process into tmpfs,
-   keeping a pristine copy of each image for rollback *)
-let stage_checkpoint s pids =
-  List.iter (fun pid -> Machine.freeze s.machine ~pid) pids;
+(* stage 1: freeze the tree, then checkpoint every process into tmpfs,
+   keeping a pristine copy of each image for rollback. Split so the
+   journal can record [Frozen] between the two halves. *)
+let stage_freeze s pids = List.iter (fun pid -> Machine.freeze s.machine ~pid) pids
+
+let stage_dump s pids =
   List.iter
     (fun pid ->
       let img = Checkpoint.dump s.machine ~pid ~mode:Checkpoint.Dynacut () in
       save_pristine s img;
       store_image s img)
     pids
+
+let stage_checkpoint s pids =
+  stage_freeze s pids;
+  stage_dump s pids
 
 (* stage 2: apply the block-disabling edits; returns journals *)
 let stage_disable s pids ~(blocks : Covgraph.block list) ~method_ :
@@ -395,6 +418,55 @@ let restore_state s (lib_bases, cut_count, table_mode, table) =
 
 let thaw_all s pids = List.iter (fun pid -> Machine.thaw s.machine ~pid) pids
 
+(* ---------- journal wiring (DESIGN.md §5d) ---------- *)
+
+let jrnl_append s (r : Journal.record) =
+  match s.journal with None -> () | Some j -> Journal.append j ~epoch:s.epoch r
+
+(* Open the transaction in the journal: refuse a tree whose journal
+   still holds an unfinished transaction or respawn ([Journal.Busy] —
+   run [recover] first), take the lock ([Journal.Fenced] when a newer
+   epoch holds it), and log the intent. Busy/Fenced are deliberately
+   outside [guard]'s failure domain: they mean the tree is not ours to
+   roll back. *)
+let jrnl_open s ~txid ~op ~pids =
+  match s.journal with
+  | None -> ()
+  | Some j ->
+      let records, _torn = Journal.read j in
+      let sum = Journal.summarize records in
+      if not (Journal.quiescent sum) then begin
+        let open_txid =
+          match sum.Journal.s_tx with
+          | Some t when not t.Journal.tx_closed -> t.Journal.tx_id
+          | _ -> 0
+        in
+        raise (Journal.Busy { txid = open_txid })
+      end;
+      Journal.acquire j ~epoch:s.epoch;
+      (* a quiescent leftover (death between Commit and cleanup, later
+         recovered) is stale history — drop it before the new tx; only
+         now that the fencing check passed is it ours to drop *)
+      if records <> [] then Journal.clear j;
+      Journal.append j ~epoch:s.epoch (Journal.Begin { txid; op; pids })
+
+let jrnl_finish s = match s.journal with None -> () | Some j -> Journal.finish j
+
+(* Rollback epilogue: the tree is back to original — log [Abort] and
+   drop journal + lock, but only while we still own the lock (a fenced
+   controller must not touch files a newer one owns). Suppressed so an
+   armed chaos fault cannot re-fire inside an already-successful
+   rollback; a kill-mode fault still strikes — that is the point. *)
+let jrnl_abort s ~txid =
+  match s.journal with
+  | None -> ()
+  | Some j ->
+      Fault.suppressed (fun () ->
+          if Journal.lock_epoch j = s.epoch then begin
+            Journal.append j ~epoch:s.epoch (Journal.Abort txid);
+            Journal.finish j
+          end)
+
 let default_max_retries = 2
 
 let is_prefix pre str =
@@ -420,18 +492,24 @@ let do_backoff s ~attempt =
    failure, every pid is reverted to its pristine image — the already-
    replaced ones (and the half-restored victim) re-restored, the not-yet-
    touched ones merely thawed — under fault suppression so the unwind
-   cannot itself be injected. *)
-let commit_restore s pids =
+   cannot itself be injected. The [Replaced] intent is journaled BEFORE
+   each reap (write-ahead): a pid may be recorded and still original,
+   never replaced and unrecorded. The [Commit] append rides inside the
+   same failure domain — if it cannot be logged, the cut is not
+   considered applied and the unwind reverts everything. *)
+let commit_restore s ~txid pids =
   let replaced = ref [] in
   try
     List.iter
       (fun pid ->
         guard "restore" (fun () ->
+            jrnl_append s (Journal.Replaced { txid; pid });
             Machine.reap s.machine ~pid;
             let p = Restore.restore s.machine (load_image s pid) in
             p.Proc.frozen <- false;
             replaced := pid :: !replaced))
-      pids
+      pids;
+    guard "restore" (fun () -> jrnl_append s (Journal.Commit txid))
   with Stage_failed _ as failure ->
     Fault.suppressed (fun () ->
         List.iter
@@ -455,16 +533,19 @@ let commit_restore s pids =
    the primary method first, then any degraded fallbacks; each returns
    (journals, t_disable, t_handler) and works purely on the tmpfs
    images. *)
-let run_transaction s ~pids ~max_retries ~retry_classes
+let run_transaction s ~op ~pids ~max_retries ~retry_classes
     ~(attempts : (unit -> Rewriter.journal list * float * float) list) :
     cut_result =
   let saved = snapshot_state s in
+  let txid = s.next_txid in
+  s.next_txid <- txid + 1;
   let retries = ref 0 and backoff_total = ref 0 in
   let zero = { t_checkpoint = 0.; t_disable = 0.; t_handler = 0.; t_restore = 0. } in
   let finish_rollback stage e t =
     restore_state s saved;
     reset_working s pids;
     thaw_all s pids;
+    jrnl_abort s ~txid;
     {
       r_journals = [];
       r_timings = t;
@@ -488,9 +569,21 @@ let run_transaction s ~pids ~max_retries ~retry_classes
         end
         else `Failed (stage, e)
   in
+  (* the journal open is NOT retried: a second [Begin] would read as a
+     new transaction. Its failure rolls back trivially — nothing
+     happened yet. Freeze/dump re-runs are idempotent, and re-appended
+     progress records are deduplicated by the summarizer. *)
   match
-    with_retries (fun () ->
-        Stats.time_it (fun () -> guard "checkpoint" (fun () -> stage_checkpoint s pids)))
+    match guard "journal" (fun () -> jrnl_open s ~txid ~op ~pids) with
+    | () ->
+        with_retries (fun () ->
+            Stats.time_it (fun () ->
+                guard "checkpoint" (fun () -> stage_freeze s pids);
+                guard "journal" (fun () -> jrnl_append s (Journal.Frozen txid));
+                guard "checkpoint" (fun () -> stage_dump s pids);
+                guard "journal" (fun () ->
+                    jrnl_append s (Journal.Images_saved txid))))
+    | exception Stage_failed (stage, e) -> `Failed (stage, e)
   with
   | `Failed (stage, e) -> finish_rollback stage e zero
   | `Ok ((), t_checkpoint) -> (
@@ -521,11 +614,22 @@ let run_transaction s ~pids ~max_retries ~retry_classes
       match edit attempts with
       | `Failed (stage, e) -> finish_rollback stage e { zero with t_checkpoint }
       | `Ok (journals, t_disable, t_handler) -> (
-          match with_retries (fun () -> Stats.time_it (fun () -> commit_restore s pids)) with
+          match
+            match
+              guard "journal" (fun () -> jrnl_append s (Journal.Rewritten txid))
+            with
+            | () ->
+                with_retries (fun () ->
+                    Stats.time_it (fun () -> commit_restore s ~txid pids))
+            | exception Stage_failed (stage, e) -> `Failed (stage, e)
+          with
           | `Failed (stage, e) ->
               finish_rollback stage e
                 { t_checkpoint; t_disable; t_handler; t_restore = 0. }
           | `Ok ((), t_restore) ->
+              (* [Commit] is on storage (last act of [commit_restore]);
+                 the journal has served its purpose *)
+              jrnl_finish s;
               {
                 r_journals = journals;
                 r_timings = { t_checkpoint; t_disable; t_handler; t_restore };
@@ -571,7 +675,7 @@ let try_cut (s : session) ?(max_retries = default_max_retries)
     | `Unmap_pages, true -> [ attempt `Unmap_pages; attempt `First_byte ]
     | m, _ -> [ attempt m ]
   in
-  run_transaction s ~pids ~max_retries ~retry_classes ~attempts
+  run_transaction s ~op:Journal.Cut ~pids ~max_retries ~retry_classes ~attempts
 
 (** Restore previously disabled features from their journals (§3.2.2's
     bidirectional transformation), with the same transactional
@@ -588,7 +692,8 @@ let try_reenable (s : session) ?(max_retries = default_max_retries)
         List.iter (fun pid -> Validate.check (load_image s pid)) pids);
     ([], t_disable, 0.)
   in
-  run_transaction s ~pids ~max_retries ~retry_classes ~attempts:[ attempt ]
+  run_transaction s ~op:Journal.Reenable ~pids ~max_retries ~retry_classes
+    ~attempts:[ attempt ]
 
 (** Disable [blocks] in the target tree under [policy]. Returns per-pid
     journals (for {!reenable}) and the stage timing breakdown. Raises
@@ -651,3 +756,198 @@ let handler_hits (s : session) ~(pid : int) : int64 =
       let hits, _ = Inject.read_handler_state p ~lib:s.handler_lib ~base in
       hits
   | _ -> 0L
+
+(* ---------- journaled respawn (supervisor reverts) ---------- *)
+
+(** Supervisor respawns go through here so a controller death
+    mid-respawn is visible to recovery: [Respawn_begin] is logged
+    before the re-create and [Respawn_done] once the controller is back
+    in control — {e including} when the respawn itself failed (the
+    supervisor handles that with backoff and a retry next tick). Only
+    an unmatched intent means the controller died. *)
+let journaled_respawn (s : session) ~(pid : int) ~(path : string) : Proc.t =
+  match s.journal with
+  | None -> Restore.respawn s.machine ~path
+  | Some j -> (
+      Journal.acquire j ~epoch:s.epoch;
+      Journal.append j ~epoch:s.epoch (Journal.Respawn_begin { pid; path });
+      let close () =
+        Fault.suppressed (fun () ->
+            Journal.append j ~epoch:s.epoch (Journal.Respawn_done { pid });
+            Journal.finish j)
+      in
+      match Restore.respawn s.machine ~path with
+      | p ->
+          close ();
+          p
+      | exception (Fault.Controller_killed _ as e) -> raise e
+      | exception e ->
+          close ();
+          raise e)
+
+(* ---------- crash recovery (DESIGN.md §5d) ---------- *)
+
+type recovery_action = [ `Nothing | `Thawed | `Rolled_back | `Completed ]
+
+type recovery = {
+  rec_action : recovery_action;
+  rec_txid : int;  (** the open transaction's id; 0 when none was open *)
+  rec_epoch : int;  (** the fencing epoch this pass stamped; 0 when idle *)
+  rec_torn : bool;  (** the journal's tail was torn (crash mid-append) *)
+  rec_pids : int list;  (** pids the open transaction covered *)
+  rec_respawned : int list;  (** unmatched supervisor respawns redone *)
+}
+
+let pp_recovery fmt (r : recovery) =
+  Format.fprintf fmt "%s%s%s%s"
+    (match r.rec_action with
+    | `Nothing -> "nothing to recover"
+    | `Thawed -> "thawed the tree (crash before images were saved)"
+    | `Rolled_back -> "rolled back from pristine images"
+    | `Completed -> "transaction already finished (commit/abort logged); cleaned up")
+    (if r.rec_txid <> 0 then Printf.sprintf " tx=%d" r.rec_txid else "")
+    (if r.rec_torn then " [torn journal tail]" else "")
+    (match r.rec_respawned with
+    | [] -> ""
+    | l ->
+        Printf.sprintf " respawned=[%s]"
+          (String.concat ";" (List.map string_of_int l)))
+
+(** Recover the tree rooted at [root_pid] after a controller death, from
+    the journal alone (the dead controller's heap is gone). The §5d
+    decision table, applied to the journal's valid prefix:
+
+    - no journal and no lock: nothing to do;
+    - open transaction without [Images_saved]: the tree was at most
+      frozen — thaw it;
+    - open transaction with [Images_saved]: reap and re-create {e every}
+      pid of the transaction from its pristine image. Uniform rollback is
+      what makes a torn [Replaced] suffix harmless (a pid the dead
+      controller never touched gets a state-identical re-create) and the
+      pass idempotent;
+    - [Commit]/[Abort] logged: the work finished, only cleanup was lost —
+      thaw and quiesce.
+
+    Unmatched supervisor respawns are redone first. The pass fences
+    before it acts: the lock is stamped with a bumped epoch, so a
+    controller that wakes up mid-recovery gets {!Journal.Fenced} on its
+    next append. Idempotent: crashing inside recovery and re-running it
+    converges to the same machine state. *)
+let recover (machine : Machine.t) ~(root_pid : int) : recovery =
+  let dir = Printf.sprintf "/tmpfs/dynacut-%d" root_pid in
+  let j = Journal.attach machine.Machine.fs ~dir in
+  let records, torn = Journal.read j in
+  let lock_e = Journal.lock_epoch j in
+  if records = [] && lock_e = 0 && not torn then
+    {
+      rec_action = `Nothing;
+      rec_txid = 0;
+      rec_epoch = 0;
+      rec_torn = false;
+      rec_pids = [];
+      rec_respawned = [];
+    }
+  else begin
+    (* fence first: a controller that still believes it owns this tree
+       must fail its next append, not race the recovery pass *)
+    let epoch = lock_e + 1 in
+    Journal.write_lock j ~epoch;
+    let sum = Journal.summarize records in
+    let pristine pid = Printf.sprintf "%s/pristine-%d.img" dir pid in
+    let working pid = Printf.sprintf "%s/dump-%d.img" dir pid in
+    (* 1. respawns the dead controller left half-done *)
+    let respawned =
+      List.filter_map
+        (fun (pid, path) ->
+          Fault.site "recover.replay";
+          let live =
+            match Machine.proc machine pid with
+            | Some p -> Proc.is_live p
+            | None -> false
+          in
+          if live then None
+          else
+            match Restore.respawn machine ~path with
+            | (_ : Proc.t) -> Some pid
+            | exception (Restore.Restore_error _ | Validate.Validate_error _) -> (
+                (* a half-written working image must not brick the
+                   respawn — fall back to the pristine copy *)
+                match Restore.respawn machine ~path:(pristine pid) with
+                | (_ : Proc.t) -> Some pid
+                | exception (Restore.Restore_error _ | Validate.Validate_error _)
+                  ->
+                    None))
+        sum.Journal.s_respawns
+    in
+    (* Thaw a pid — or, when the pid is gone although the journal's
+       prefix never recorded a reap (mid-file corruption ate the
+       record), revive it from its on-storage image: [prefer] first,
+       the other copy as fallback. The write-ahead guarantee only
+       covers the tail, so the revival is best effort — but a sealed
+       image beats a dead tree. *)
+    let thaw_or_revive ~prefer ~fallback pid =
+      Fault.site "recover.replay";
+      match Machine.proc machine pid with
+      | Some p when Proc.is_live p -> Machine.thaw machine ~pid
+      | Some _ -> ()
+      | None ->
+          List.iter
+            (fun path ->
+              if Machine.proc machine pid = None then
+                match Restore.respawn machine ~path with
+                | (_ : Proc.t) -> ()
+                | exception (Restore.Restore_error _ | Validate.Validate_error _)
+                  ->
+                    ())
+            [ prefer pid; fallback pid ]
+    in
+    (* 2. the open transaction, per the decision table *)
+    let action, txid, pids =
+      match sum.Journal.s_tx with
+      | None -> (`Nothing, 0, [])
+      | Some tx when tx.Journal.tx_closed ->
+          (* committed pids run the rewritten (working) image *)
+          List.iter
+            (thaw_or_revive ~prefer:working ~fallback:pristine)
+            tx.Journal.tx_pids;
+          (`Completed, tx.Journal.tx_id, tx.Journal.tx_pids)
+      | Some tx when tx.Journal.tx_images_saved ->
+          List.iter
+            (fun pid ->
+              Fault.site "recover.replay";
+              Machine.reap machine ~pid;
+              let img =
+                match Vfs.find machine.Machine.fs (pristine pid) with
+                | Some blob -> Validate.decode_sealed blob
+                | None ->
+                    raise
+                      (Dynacut_error
+                         (Printf.sprintf "recover: no pristine image for pid %d"
+                            pid))
+              in
+              let p = Restore.restore machine img in
+              p.Proc.frozen <- false;
+              (* future cuts must start from a clean working copy *)
+              match Vfs.find machine.Machine.fs (pristine pid) with
+              | Some blob -> Vfs.add machine.Machine.fs (working pid) blob
+              | None -> ())
+            tx.Journal.tx_pids;
+          (`Rolled_back, tx.Journal.tx_id, tx.Journal.tx_pids)
+      | Some tx ->
+          (* pre-Images_saved pids were at most frozen *)
+          List.iter
+            (thaw_or_revive ~prefer:pristine ~fallback:working)
+            tx.Journal.tx_pids;
+          (`Thawed, tx.Journal.tx_id, tx.Journal.tx_pids)
+    in
+    (* quiesce the journal; the bumped lock stays behind as the fence *)
+    Journal.clear j;
+    {
+      rec_action = action;
+      rec_txid = txid;
+      rec_epoch = epoch;
+      rec_torn = torn;
+      rec_pids = pids;
+      rec_respawned = respawned;
+    }
+  end

@@ -49,6 +49,11 @@ type session = {
   root_pid : int;
   handler_lib : Self.t;  (** the injectable SIGTRAP handler (§3.3) *)
   tmpfs : string;  (** image directory in the machine fs *)
+  journal : Journal.t option;
+      (** the crash-consistency journal (§5d); [None] only with
+          [~journal:false] *)
+  epoch : int;  (** this controller's fencing token *)
+  mutable next_txid : int;
   mutable lib_bases : (int * int64) list;
   mutable cut_count : int;
   mutable table_mode : int64;
@@ -59,9 +64,12 @@ type session = {
 
 exception Dynacut_error of string
 
-val create : Machine.t -> root_pid:int -> session
+val create : ?journal:bool -> Machine.t -> root_pid:int -> session
 (** Build a session for the process tree rooted at [root_pid]; the
-    handler library is linked against the target's libc. *)
+    handler library is linked against the target's libc. The session's
+    epoch outranks any stale lock left in the tree's tmpfs. [~journal]
+    (default [true]) disables the crash-consistency journal — only
+    meant for the robustness benchmark's A/B comparison. *)
 
 val tree_pids : session -> int list
 (** The root and its live descendants (multi-process support, §3.2.1). *)
@@ -113,6 +121,15 @@ type cut_result = {
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Both [try_cut] and [try_reenable] journal every state transition
+    into [<tmpfs>/journal] (sealed, checksummed {!Journal.record}
+    frames) before acting on it, and hold the per-tree lock for the
+    duration, so a controller death at {e any} point is recoverable by
+    {!recover}. They raise {!Journal.Busy} when the tree's journal holds
+    an unfinished transaction (run recovery first) and {!Journal.Fenced}
+    when a newer controller owns the tree; neither is a rollback — the
+    tree was not touched. *)
 
 val try_cut :
   session ->
@@ -169,3 +186,41 @@ val verifier_log : session -> pid:int -> int64 list
 
 val handler_hits : session -> pid:int -> int64
 (** Number of SIGTRAP deliveries the injected handler served. *)
+
+(** {2 Crash recovery (§5d)} *)
+
+val journaled_respawn : session -> pid:int -> path:string -> Proc.t
+(** [Restore.respawn] bracketed by [Respawn_begin]/[Respawn_done]
+    journal records, so a controller death mid-respawn is visible to
+    {!recover}. The supervisor's respawn and canary-revert paths use
+    this. *)
+
+type recovery_action =
+  [ `Nothing  (** journal absent or empty — the tree was never at risk *)
+  | `Thawed  (** crash before [Images_saved]: the tree was only frozen *)
+  | `Rolled_back  (** every pid re-created from its pristine image *)
+  | `Completed  (** [Commit]/[Abort] was logged; only cleanup was lost *)
+  ]
+
+type recovery = {
+  rec_action : recovery_action;
+  rec_txid : int;  (** the open transaction's id; 0 when none was open *)
+  rec_epoch : int;  (** the fencing epoch this pass stamped; 0 when idle *)
+  rec_torn : bool;  (** the journal's tail was torn (crash mid-append) *)
+  rec_pids : int list;  (** pids the open transaction covered *)
+  rec_respawned : int list;  (** unmatched supervisor respawns redone *)
+}
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
+val recover : Machine.t -> root_pid:int -> recovery
+(** Recover the tree rooted at [root_pid] after a controller death,
+    from the journal alone. Applies the §5d decision table to the
+    journal's valid prefix: thaw when the crash predates [Images_saved],
+    uniform pristine rollback when it postdates it, cleanup when
+    [Commit]/[Abort] made it to storage; unmatched supervisor respawns
+    are redone first. Fences before acting (bumps the lock epoch — a
+    resurrected controller gets {!Journal.Fenced}) and is idempotent:
+    crashing {e inside} recovery and re-running converges to the same
+    machine state. The tree ends every-pid-fully-cut or
+    every-pid-fully-original, never mixed within a pid. *)

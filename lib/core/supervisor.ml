@@ -259,7 +259,9 @@ let respawn_one t pid =
               Dynacut.image_path t.session pid
             else Dynacut.pristine_path t.session pid
           in
-          match Restore.respawn m ~path with
+          (* journaled: a controller death between the intent and the
+             new process is redone by [Dynacut.recover] *)
+          match Dynacut.journaled_respawn t.session ~pid ~path with
           | exception (Fault.Injected { site; _ } as e) ->
               ignore site;
               emit t
@@ -383,12 +385,18 @@ let revert_canary t pid cj =
       | Some p when Proc.is_live p ->
           (match Dynacut.try_reenable t.session ~pids:[ pid ] cj with
           | { Dynacut.r_outcome = `Applied | `Degraded; _ } -> ()
+          | exception (Fault.Controller_killed _ as e) -> raise e
+          | exception (Journal.Fenced _ as e) -> raise e
           | { Dynacut.r_outcome = `Rolled_back _; _ } | (exception _) ->
               (* last resort: recreate from the pre-cut image *)
-              ignore (Restore.respawn m ~path:(Dynacut.pristine_path t.session pid));
+              ignore
+                (Dynacut.journaled_respawn t.session ~pid
+                   ~path:(Dynacut.pristine_path t.session pid));
               Dynacut.forget_pid t.session ~pid)
       | _ ->
-          ignore (Restore.respawn m ~path:(Dynacut.pristine_path t.session pid));
+          ignore
+            (Dynacut.journaled_respawn t.session ~pid
+               ~path:(Dynacut.pristine_path t.session pid));
           Dynacut.forget_pid t.session ~pid);
       (* drop any queued death for the canary: just handled *)
       t.deaths <- List.filter (fun d -> d <> pid) t.deaths);

@@ -156,6 +156,32 @@ let unseal (blob : string) : string =
     fail "image checksum mismatch (0x%Lx, expected 0x%Lx)" (checksum payload) sum;
   payload
 
+(** A journal file is a plain concatenation of sealed frames — each one
+    self-delimiting thanks to the length in the seal header. Split the
+    valid prefix into payloads; the [bool] is true when the tail was
+    torn (truncated mid-frame, bad magic, or checksum mismatch). A torn
+    tail is expected after a crash: the caller keeps the prefix. *)
+let unseal_frames (blob : string) : string list * bool =
+  let magic_len = String.length seal_magic in
+  let total = String.length blob in
+  let rec go acc off =
+    if off >= total then (List.rev acc, false)
+    else if total - off < header_size then (List.rev acc, true)
+    else if String.sub blob off magic_len <> seal_magic then (List.rev acc, true)
+    else
+      let open Bytesx.R in
+      let r = of_string (String.sub blob off (total - off)) in
+      let (_ : string) = take r magic_len in
+      let len = int_of_u64 r in
+      let sum = u64 r in
+      if len < 0 || len > remaining r then (List.rev acc, true)
+      else
+        let payload = take r len in
+        if checksum payload <> sum then (List.rev acc, true)
+        else go (payload :: acc) (off + header_size + len)
+  in
+  go [] 0
+
 (** [seal (Images.encode img)]. *)
 let encode_sealed (img : Images.t) : string = seal (Images.encode img)
 

@@ -19,6 +19,13 @@ val unseal : string -> string
 (** Verify and strip the seal; raises {!Validate_error} on truncation or
     corruption. *)
 
+val unseal_frames : string -> string list * bool
+(** Split a concatenation of sealed frames (the journal file layout)
+    into the payloads of the longest valid prefix; the [bool] reports a
+    torn tail — truncation mid-frame, bad magic, or a checksum mismatch.
+    Never raises: a crash can tear the last frame, and the prefix is
+    exactly what recovery needs. *)
+
 val encode_sealed : Images.t -> string
 (** [seal (Images.encode img)]. *)
 

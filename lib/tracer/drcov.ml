@@ -50,61 +50,97 @@ let to_string (l : log) : string =
     l.bbs;
   Buffer.contents b
 
-exception Parse_error of string
+exception Drcov_malformed of { offset : int; reason : string }
+(** A truncated or corrupted trace file. [offset] is the 1-based line
+    number of the offending line (one past the last line when the file
+    ends too early). Trace logs travel through the host filesystem
+    ([trace -o] / [tracediff -w]), so bit flips and truncation are
+    ordinary events there — consumers get a typed error, never a bare
+    [Failure] or an out-of-bounds crash. *)
+
+let malformed offset fmt =
+  Printf.ksprintf (fun reason -> raise (Drcov_malformed { offset; reason })) fmt
 
 let parse_line_fields s = String.split_on_char ',' s |> List.map String.trim
 
+(* wrap the stdlib parsers so a bit-flipped number reports its line *)
+let int_field ~line ~what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> malformed line "bad %s %S" what s
+
+let int64_field ~line ~what s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> malformed line "bad %s %S" what s
+
 let of_string (s : string) : log =
-  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  (* keep 1-based line numbers through the blank-line filter, so errors
+     point into the file as the user sees it *)
+  let lines =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  let eof = 1 + List.fold_left (fun acc (n, _) -> max acc n) 0 lines in
   let rec skip_headers = function
-    | l :: rest when String.length l >= 12 && String.sub l 0 12 = "Module Table" -> (
+    | (ln, l) :: rest when String.length l >= 12 && String.sub l 0 12 = "Module Table"
+      -> (
         match String.rindex_opt l ' ' with
         | Some i ->
-            let n = int_of_string (String.sub l (i + 1) (String.length l - i - 1)) in
+            let n =
+              int_field ~line:ln ~what:"module count"
+                (String.sub l (i + 1) (String.length l - i - 1))
+            in
             (n, rest)
-        | None -> raise (Parse_error "bad module table header"))
+        | None -> malformed ln "bad module table header")
     | _ :: rest -> skip_headers rest
-    | [] -> raise (Parse_error "no module table")
+    | [] -> malformed eof "no module table"
   in
   let nmod, rest = skip_headers lines in
-  let rest = match rest with _cols :: r -> r | [] -> raise (Parse_error "truncated") in
+  let rest =
+    match rest with _cols :: r -> r | [] -> malformed eof "truncated after module table header"
+  in
   let rec take n acc rest =
     if n = 0 then (List.rev acc, rest)
     else
       match rest with
-      | [] -> raise (Parse_error "truncated module table")
-      | l :: r -> (
+      | [] -> malformed eof "truncated module table (%d more expected)" n
+      | (ln, l) :: r -> (
           match parse_line_fields l with
           | [ id; base; end_; path ] ->
               take (n - 1)
                 ({
-                   mi_id = int_of_string id;
-                   mi_base = Int64.of_string base;
-                   mi_end = Int64.of_string end_;
+                   mi_id = int_field ~line:ln ~what:"module id" id;
+                   mi_base = int64_field ~line:ln ~what:"module base" base;
+                   mi_end = int64_field ~line:ln ~what:"module end" end_;
                    mi_name = path;
                  }
                 :: acc)
                 r
-          | _ -> raise (Parse_error ("bad module line: " ^ l)))
+          | _ -> malformed ln "bad module line: %s" l)
   in
   let modules, rest = take nmod [] rest in
   let rest =
     match rest with
-    | bbhdr :: _cols :: r when String.length bbhdr >= 8 && String.sub bbhdr 0 8 = "BB Table" -> r
-    | _ -> raise (Parse_error "no bb table")
+    | (_, bbhdr) :: _cols :: r
+      when String.length bbhdr >= 8 && String.sub bbhdr 0 8 = "BB Table" ->
+        r
+    | (ln, _) :: _ -> malformed ln "no bb table"
+    | [] -> malformed eof "no bb table"
   in
   let bbs =
     List.map
-      (fun l ->
+      (fun (ln, l) ->
         match parse_line_fields l with
         | [ m; off; size; seq ] ->
             {
-              bb_mod = int_of_string m;
-              bb_off = int_of_string off;
-              bb_size = int_of_string size;
-              bb_seq = int_of_string seq;
+              bb_mod = int_field ~line:ln ~what:"bb module id" m;
+              bb_off = int_field ~line:ln ~what:"bb offset" off;
+              bb_size = int_field ~line:ln ~what:"bb size" size;
+              bb_seq = int_field ~line:ln ~what:"bb seq" seq;
             }
-        | _ -> raise (Parse_error ("bad bb line: " ^ l)))
+        | _ -> malformed ln "bad bb line: %s" l)
       rest
   in
   { modules; bbs }

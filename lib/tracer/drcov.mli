@@ -24,7 +24,13 @@ val covered_bytes : log -> int
 
 val to_string : log -> string
 
-exception Parse_error of string
+exception Drcov_malformed of { offset : int; reason : string }
+(** A truncated or corrupted trace log. [offset] is the 1-based line
+    number of the offending line (one past the last line when the file
+    ends too early). *)
 
 val of_string : string -> log
-(** Inverse of {!to_string}; raises {!Parse_error} on malformed input. *)
+(** Inverse of {!to_string}; raises {!Drcov_malformed} on any malformed
+    input — truncated header or tables, short tuples, non-numeric
+    fields, trailing garbage — never a bare [Failure] or an
+    out-of-bounds access. *)

@@ -20,7 +20,14 @@ exception Injected of { site : string; transient : bool }
 (** [transient] marks the fault as retryable — the transaction retries
     the stage instead of rolling back (capped backoff). *)
 
-type armed = { a_spec : spec; a_transient : bool }
+exception Controller_killed of { site : string }
+(** A [~kill] fault: the dynacut controller itself dies at the site.
+    Unlike {!Injected} it is not part of the pipeline's failure domain —
+    it unwinds past every rollback handler (including {!suppressed}
+    sections), leaving the tree exactly as the crash found it. Recovery
+    is [Dynacut.recover]'s job, from the journal alone. *)
+
+type armed = { a_spec : spec; a_transient : bool; a_kill : bool }
 type counters = { mutable c_hits : int; mutable c_fired : int }
 
 let rng = ref (Rng.create 7)
@@ -38,13 +45,13 @@ let reset () =
   suppress_depth := 0;
   seed 7
 
-let arm ?(transient = false) site spec =
+let arm ?(transient = false) ?(kill = false) site spec =
   (match spec with
   | Every_nth n when n <= 0 -> invalid_arg "Fault.arm: Every_nth needs n >= 1"
   | Probability p when not (p >= 0. && p <= 1.) ->
       invalid_arg "Fault.arm: probability outside [0,1]"
   | _ -> ());
-  Hashtbl.replace armed_tbl site { a_spec = spec; a_transient = transient }
+  Hashtbl.replace armed_tbl site { a_spec = spec; a_transient = transient; a_kill = kill }
 
 let disarm site = Hashtbl.remove armed_tbl site
 let armed site = Hashtbl.mem armed_tbl site
@@ -75,48 +82,52 @@ let suppressed f =
   incr suppress_depth;
   Fun.protect ~finally:(fun () -> decr suppress_depth) f
 
-(** Declare a fault site. No-op unless the site is armed. *)
+(** Declare a fault site. No-op unless the site is armed. A [~kill]
+    fault ignores {!suppressed} — controller death strikes anywhere,
+    including inside a rollback. *)
 let site name =
   let c = counters_for name in
   c.c_hits <- c.c_hits + 1;
-  if !suppress_depth = 0 then
-    match Hashtbl.find_opt armed_tbl name with
-    | None -> ()
-    | Some a ->
-        let fire =
-          match a.a_spec with
-          | One_shot -> true
-          | Every_nth n -> c.c_hits mod n = 0
-          | Probability p -> Rng.float !rng < p
-        in
-        if fire then begin
-          (match a.a_spec with
-          | One_shot -> Hashtbl.remove armed_tbl name
-          | Every_nth _ | Probability _ -> ());
-          c.c_fired <- c.c_fired + 1;
-          raise (Injected { site = name; transient = a.a_transient })
-        end
+  match Hashtbl.find_opt armed_tbl name with
+  | None -> ()
+  | Some a when (not a.a_kill) && !suppress_depth > 0 -> ()
+  | Some a ->
+      let fire =
+        match a.a_spec with
+        | One_shot -> true
+        | Every_nth n -> c.c_hits mod n = 0
+        | Probability p -> Rng.float !rng < p
+      in
+      if fire then begin
+        (match a.a_spec with
+        | One_shot -> Hashtbl.remove armed_tbl name
+        | Every_nth _ | Probability _ -> ());
+        c.c_fired <- c.c_fired + 1;
+        if a.a_kill then raise (Controller_killed { site = name })
+        else raise (Injected { site = name; transient = a.a_transient })
+      end
 
-(** Parse a CLI fault argument: [SITE[:once|nth=N|p=F][:transient]],
-    e.g. ["criu.save:once"], ["rewrite.patch:nth=3:transient"].
-    Returns (site, spec, transient). *)
-let parse_spec (s : string) : string * spec * bool =
+(** Parse a CLI fault argument: [SITE[:once|nth=N|p=F][:transient][:kill]],
+    e.g. ["criu.save:once"], ["rewrite.patch:nth=3:transient"],
+    ["restore.process:kill"]. Returns (site, spec, transient, kill). *)
+let parse_spec (s : string) : string * spec * bool * bool =
   match String.split_on_char ':' s with
   | [] | [ "" ] -> invalid_arg "Fault.parse_spec: empty"
   | site :: opts ->
-      let spec = ref One_shot and transient = ref false in
+      let spec = ref One_shot and transient = ref false and kill = ref false in
       List.iter
         (fun o ->
           match o with
           | "once" -> spec := One_shot
           | "transient" -> transient := true
+          | "kill" -> kill := true
           | _ when String.length o > 4 && String.sub o 0 4 = "nth=" ->
               spec := Every_nth (int_of_string (String.sub o 4 (String.length o - 4)))
           | _ when String.length o > 2 && String.sub o 0 2 = "p=" ->
               spec := Probability (float_of_string (String.sub o 2 (String.length o - 2)))
           | _ -> invalid_arg (Printf.sprintf "Fault.parse_spec: bad option %S" o))
         opts;
-      (site, !spec, !transient)
+      (site, !spec, !transient, !kill)
 
 (** Static registry of every fault site compiled into the pipeline, with
     a one-line description. [sites ()] only knows sites already reached
@@ -139,6 +150,9 @@ let known_sites =
     ("restore.respawn", "supervisor crash-loop respawn from a tmpfs image");
     ("supervisor.promote", "canary promotion to the remaining pids");
     ("supervisor.reenable", "breaker-tripped automatic re-enable");
+    ("journal.lock", "acquire or refresh the per-tree journal lock (fencing)");
+    ("journal.append", "append a sealed record to the crash-consistency journal");
+    ("recover.replay", "apply one recovery action (respawn, pristine restore, thaw)");
   ]
 
 (** One line per known site: "site hits/fired". *)

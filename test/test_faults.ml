@@ -408,6 +408,9 @@ let test_known_sites_registry () =
         "crit.decode";
         "supervisor.promote";
         "supervisor.reenable";
+        "journal.lock";
+        "journal.append";
+        "recover.replay";
       ]
   in
   List.iter

@@ -11,6 +11,7 @@ let () =
       ("core", Test_core.suite);
       ("core-props", Test_core_props.suite);
       ("faults", Test_faults.suite);
+      ("recover", Test_recover.suite);
       ("supervisor", Test_supervisor.suite);
       ("guestlib", Test_guestlib.suite);
       ("apps", Test_apps.suite);

@@ -140,9 +140,61 @@ let test_covgraph_of_log () =
   Alcotest.(check bool) "member" true (Covgraph.mem_off g ~module_:"app" ~off:0x100);
   Alcotest.(check bool) "nonmember" false (Covgraph.mem_off g ~module_:"app" ~off:0x101)
 
+(* ---------- malformed logs (Drcov_malformed) ---------- *)
+
+(* every malformed input must surface as the typed exception — never a
+   bare Failure from int_of_string or an out-of-bounds crash *)
+let check_malformed name ?line s =
+  match Drcov.of_string s with
+  | (_ : Drcov.log) -> Alcotest.failf "%s: parsed a malformed log" name
+  | exception Drcov.Drcov_malformed { offset; reason } -> (
+      Alcotest.(check bool) (name ^ ": reason") true (String.length reason > 0);
+      match line with
+      | None -> ()
+      | Some l -> Alcotest.(check int) (name ^ ": offset") l offset)
+  | exception e ->
+      Alcotest.failf "%s: expected Drcov_malformed, got %s" name
+        (Printexc.to_string e)
+
+let sample_text = Drcov.to_string sample_log
+
+(* keep the first [n] lines of the canonical sample (its layout: 2 header
+   lines, module-table header + columns, 2 modules, bb header + columns,
+   3 bbs) *)
+let first_lines n =
+  String.split_on_char '\n' sample_text
+  |> List.filteri (fun i _ -> i < n)
+  |> String.concat "\n"
+
+let replace_line s ~line ~with_ =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> if i + 1 = line then with_ else l)
+  |> String.concat "\n"
+
+let test_drcov_malformed () =
+  check_malformed "empty" "";
+  (* truncated header: file ends before the module table appears *)
+  check_malformed "truncated header" ~line:3 (first_lines 2);
+  (* module table announced but cut short *)
+  check_malformed "truncated module table" ~line:6 (first_lines 5);
+  (* short tuple: a module line missing its path field *)
+  check_malformed "short module tuple" ~line:5
+    (replace_line sample_text ~line:5 ~with_:"  0, 0x400000, 0x420000");
+  (* short tuple: a bb line missing its seq field *)
+  check_malformed "short bb tuple" ~line:9
+    (replace_line sample_text ~line:9 ~with_:"  0, 0x100, 12");
+  (* bit-flipped numeric field *)
+  check_malformed "garbled number" ~line:10
+    (replace_line sample_text ~line:10 ~with_:"  1, 0xZZ, 3, 1");
+  (* garbage appended after the bb table *)
+  check_malformed "garbage tail" ~line:12 (sample_text ^ "not, a\n");
+  (* missing bb table entirely *)
+  check_malformed "no bb table" (first_lines 6)
+
 let suite =
   [
     Alcotest.test_case "drcov roundtrip" `Quick test_drcov_roundtrip;
+    Alcotest.test_case "drcov malformed inputs" `Quick test_drcov_malformed;
     QCheck_alcotest.to_alcotest prop_drcov_roundtrip;
     Alcotest.test_case "drcov covered bytes" `Quick test_drcov_covered_bytes;
     Alcotest.test_case "collector dedups blocks" `Quick test_collector_dedup;
