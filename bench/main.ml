@@ -134,6 +134,82 @@ let run_robustness () =
   close_out oc;
   Format.fprintf fmt "  wrote BENCH_robustness.json@."
 
+(* ---------- obs: pipeline breakdown + instrumentation overhead ---------- *)
+
+(* What the observability registry reports and what it costs: the
+   per-stage host-CPU breakdown of one ngx cut + re-enable (read back
+   from the span host axis), then interleaved registry-on/registry-off
+   repetitions of the same scenario to bound the instrumentation
+   overhead. Emits BENCH_obs.json; the --quick smoke mode in ci.sh runs
+   only this with fewer repetitions. *)
+let quick = ref false
+
+let run_obs () =
+  Common.section fmt "Observability: pipeline breakdown + registry overhead";
+  let app = Workload.ngx in
+  let blocks = Common.web_feature_blocks app in
+  let policy =
+    { Dynacut.method_ = `First_byte; on_trap = `Redirect "ngx_declined" }
+  in
+  let iters = if !quick then 3 else 7 in
+  (* one scenario = boot, cut, re-enable on a fresh fleet *)
+  let scenario () =
+    Fault.reset ();
+    let c = Workload.spawn app in
+    Workload.wait_ready c;
+    let s = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+    let r = Dynacut.try_cut s ~blocks ~policy () in
+    let re = Dynacut.try_reenable s r.Dynacut.r_journals in
+    match (r.Dynacut.r_outcome, re.Dynacut.r_outcome) with
+    | (`Applied | `Degraded), (`Applied | `Degraded) -> ()
+    | _ -> failwith "obs: benchmark cut did not apply"
+  in
+  (* per-stage breakdown, one instrumented scenario *)
+  Obs.set_enabled true;
+  Obs.reset ();
+  scenario ();
+  let stages =
+    [ "checkpoint"; "crit"; "rewrite"; "inject"; "restore"; "tcp_repair" ]
+  in
+  let breakdown =
+    List.map
+      (fun st -> (st, List.fold_left ( +. ) 0. (Obs.span_seconds st)))
+      stages
+  in
+  List.iter
+    (fun (st, s) -> Format.fprintf fmt "  stage %-12s %.6f s@." st s)
+    breakdown;
+  (* overhead: interleaved on/off repetitions, compared by median so one
+     noisy sample can't swing the bound *)
+  let time_with enabled =
+    Obs.set_enabled enabled;
+    Obs.reset ();
+    let (), dt = Stats.time_it scenario in
+    dt
+  in
+  let on = ref [] and off = ref [] in
+  for _ = 1 to iters do
+    on := time_with true :: !on;
+    off := time_with false :: !off
+  done;
+  Obs.set_enabled true;
+  let med l = Stats.percentile 50. l in
+  let m_on = med !on and m_off = med !off in
+  let overhead_pct = (m_on -. m_off) /. m_off *. 100. in
+  Format.fprintf fmt "  scenario median: registry on %.6f s, off %.6f s@." m_on
+    m_off;
+  Format.fprintf fmt "  instrumentation overhead: %.2f%%@." overhead_pct;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc "{\n  \"app\": %S,\n  \"iters\": %d" app.Workload.a_name iters;
+  List.iter
+    (fun (st, s) -> Printf.fprintf oc ",\n  \"stage_%s_s\": %.6f" st s)
+    breakdown;
+  Printf.fprintf oc ",\n  \"scenario_s_obs_on\": %.6f" m_on;
+  Printf.fprintf oc ",\n  \"scenario_s_obs_off\": %.6f" m_off;
+  Printf.fprintf oc ",\n  \"instr_overhead_pct\": %.4f\n}\n" overhead_pct;
+  close_out oc;
+  Format.fprintf fmt "  wrote BENCH_obs.json@."
+
 (* ---------- experiment registry ---------- *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -149,14 +225,20 @@ let experiments : (string * string * (unit -> unit)) list =
     ("security", "PLT removal + BROP gadget census (§4.2)", fun () -> ignore (Security.run fmt));
     ("ablation", "policy / normalization / autophase / libcut ablations", fun () -> ignore (Ablation.run fmt));
     ("robustness", "journaling overhead + crash-recovery time (§5d)", run_robustness);
+    ("obs", "observability breakdown + registry overhead", run_obs);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  quick := List.mem "--quick" args;
+  let args = List.filter (fun a -> a <> "--quick") args in
   let to_run =
     match args with
+    (* --quick alone = the obs smoke run (ci.sh's fast bench gate) *)
+    | [] when !quick ->
+        List.filter (fun (id, _, _) -> id = "obs") experiments
     | [] | [ "all" ] -> experiments
     | names ->
         List.map

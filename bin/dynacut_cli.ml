@@ -41,13 +41,25 @@ let require_app = function
 let list_fault_sites_arg =
   let doc =
     "List every registered fault-injection site with a one-line \
-     description, then exit (no APP needed)."
+     description. Standing alone (no APP) the listing prints \
+     immediately and the command exits; combined with a run (APP \
+     given) it prints after the run, so --verbose shows the per-site \
+     fired count from the metric registry (fault.fired{site=...}) for \
+     the faults that actually fired."
   in
   Arg.(value & flag & info [ "list-fault-sites" ] ~doc)
 
-let print_fault_sites () =
+let verbose_arg =
+  let doc = "Verbose output (for --list-fault-sites: per-site fired counts)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let print_fault_sites ?(verbose = false) () =
   List.iter
-    (fun (site, desc) -> Printf.printf "%-22s %s\n" site desc)
+    (fun (site, desc) ->
+      if verbose then
+        Printf.printf "%-22s fired=%-4d %s\n" site (Fault.registry_fired site)
+          desc
+      else Printf.printf "%-22s %s\n" site desc)
     Fault.known_sites
 
 let inject_fault_arg =
@@ -89,6 +101,24 @@ let arm_faults ?seed specs =
 let out_arg =
   let doc = "Write output to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "After the run, write the observability registry — counters, \
+     histograms, the unified event ring, and the pipeline span breakdown \
+     (checkpoint / crit / rewrite / inject / restore / tcp_repair, plus \
+     journal and recover spans) including per-stage host-CPU seconds — \
+     as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.dump_json ~host:true ());
+      close_out oc;
+      Printf.printf "wrote %s\n" path
 
 let emit out content =
   match out with
@@ -231,9 +261,9 @@ let cut_cmd =
     let doc = "Re-enable the feature afterwards and probe again." in
     Arg.(value & flag & info [ "reenable" ] ~doc)
   in
-  let action app feature probes reenable faults seed list_sites =
-    if list_sites then begin
-      print_fault_sites ();
+  let action app feature probes reenable faults seed list_sites verbose metrics =
+    if list_sites && app = None then begin
+      print_fault_sites ~verbose ();
       exit 0
     end;
     let app = require_app app in
@@ -278,6 +308,8 @@ let cut_cmd =
         probes
     end;
     if faults <> [] then print_endline (Fault.report ());
+    if list_sites then print_fault_sites ~verbose ();
+    write_metrics metrics;
     (* exit 0: cut applied (possibly degraded); exit 3: transaction rolled
        back — target untouched and still serving *)
     if rolled_back then exit 3
@@ -287,7 +319,7 @@ let cut_cmd =
     (Cmd.info "cut" ~doc ~man:(exit_status_man []))
     Term.(
       const action $ app_opt_arg $ feature $ probe $ reenable $ inject_fault_arg
-      $ fault_seed_arg $ list_fault_sites_arg)
+      $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg $ metrics_out_arg)
 
 (* ---------- guard ---------- *)
 
@@ -353,9 +385,9 @@ let guard_cmd =
         exit 2
   in
   let action app feature probes canary storm window max_traps cooldown max_trips
-      max_respawns slices faults seed list_sites =
-    if list_sites then begin
-      print_fault_sites ();
+      max_respawns slices faults seed list_sites verbose metrics =
+    if list_sites && app = None then begin
+      print_fault_sites ~verbose ();
       exit 0
     end;
     let app = require_app app in
@@ -406,6 +438,8 @@ let guard_cmd =
       Format.printf "breaker: %a (trips=%d)@." Supervisor.pp_breaker
         (Supervisor.breaker_state sup) (Supervisor.trips sup);
       if faults <> [] then print_endline (Fault.report ());
+      if list_sites then print_fault_sites ~verbose ();
+      write_metrics metrics;
       exit code
     in
     let rollout = Supervisor.guarded_cut sup ~canary ~drive () in
@@ -447,7 +481,8 @@ let guard_cmd =
     Term.(
       const action $ app_opt_arg $ feature $ probe $ canary $ storm $ window
       $ max_traps $ cooldown $ max_trips $ max_respawns $ slices
-      $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg)
+      $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg
+      $ metrics_out_arg)
 
 (* ---------- recover ---------- *)
 
@@ -471,9 +506,9 @@ let recover_cmd =
     in
     Arg.(value & opt (some string) None & info [ "crash-at" ] ~docv:"SITE" ~doc)
   in
-  let action app feature probes crash_at faults seed list_sites =
-    if list_sites then begin
-      print_fault_sites ();
+  let action app feature probes crash_at faults seed list_sites verbose metrics =
+    if list_sites && app = None then begin
+      print_fault_sites ~verbose ();
       exit 0
     end;
     let app = require_app app in
@@ -521,9 +556,13 @@ let recover_cmd =
           | `Thawed | `Rolled_back -> 6
           | `Completed -> 7
         in
+        if list_sites then print_fault_sites ~verbose ();
+        write_metrics metrics;
         exit code
     | exception e ->
         Printf.eprintf "recover failed: %s\n" (Printexc.to_string e);
+        if list_sites then print_fault_sites ~verbose ();
+        write_metrics metrics;
         exit 3
   in
   let doc =
@@ -550,7 +589,200 @@ let recover_cmd =
     (Cmd.info "recover" ~doc ~man)
     Term.(
       const action $ app_opt_arg $ feature $ probe $ crash_at $ inject_fault_arg
-      $ fault_seed_arg $ list_fault_sites_arg)
+      $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg $ metrics_out_arg)
+
+(* ---------- stats ---------- *)
+
+let default_feature (app : Workload.app) = function
+  | Some f -> f
+  | None -> if app.Workload.a_name = "rkv" then "SET" else "put-delete"
+
+let stats_cmd =
+  let feature =
+    let doc =
+      "Feature to cut while gathering metrics (same choices as $(b,cut)); \
+       default put-delete for the web servers, SET for rkv."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+  in
+  let probe =
+    let doc =
+      "Request to drive against the customized server (repeatable); \
+       defaults to the app's wanted-traffic mix."
+    in
+    Arg.(value & opt_all string [] & info [ "r"; "request" ] ~docv:"REQ" ~doc)
+  in
+  let json =
+    let doc = "Dump the registry as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let host =
+    let doc =
+      "Include the per-span host-CPU seconds section in the JSON dump. \
+       Host times are real measurements and therefore not reproducible \
+       across runs; without this flag the JSON is byte-identical for the \
+       same seed and scenario."
+    in
+    Arg.(value & flag & info [ "host" ] ~doc)
+  in
+  let action app feature probes json host out faults seed list_sites verbose =
+    if list_sites then begin
+      print_fault_sites ~verbose ();
+      exit 0
+    end;
+    let app = require_app app in
+    let feature = default_feature app feature in
+    let blocks, redirect = feature_blocks app feature in
+    arm_faults ?seed faults;
+    let c = Workload.spawn app in
+    Workload.wait_ready c;
+    let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+    let r =
+      Dynacut.try_cut session ~blocks
+        ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
+        ()
+    in
+    let reqs =
+      match probes with
+      | [] ->
+          if app.Workload.a_name = "rkv" then [ "GET somekey\n" ]
+          else Workload.web_wanted
+      | l -> List.map Scanf.unescaped l
+    in
+    List.iter (fun req -> ignore (Workload.rpc c req)) reqs;
+    ignore (Machine.run c.Workload.m ~max_cycles:20_000);
+    emit out (if json then Obs.dump_json ~host () else Obs.dump_text ());
+    match r.Dynacut.r_outcome with `Rolled_back _ -> exit 3 | _ -> ()
+  in
+  let doc =
+    "Cut a feature, drive traffic, and dump the observability registry \
+     (metrics, pipeline spans, unified event ring) in one shot."
+  in
+  let man =
+    exit_status_man []
+    @ [
+        `S "DETERMINISM";
+        `P
+          "The default (and --json) output is derived from virtual-clock \
+           instrumentation only: the same seed and the same scenario \
+           produce byte-identical dumps. Only --host adds wall-measured \
+           data.";
+      ]
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc ~man)
+    Term.(
+      const action $ app_opt_arg $ feature $ probe $ json $ host $ out_arg
+      $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg)
+
+(* ---------- top ---------- *)
+
+let top_cmd =
+  let feature =
+    let doc =
+      "Feature to roll out under supervision (same choices as $(b,cut)); \
+       default put-delete for the web servers, SET for rkv."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+  in
+  let storm =
+    let doc =
+      "Cut the app's wanted GET path too, provoking a trap storm (same \
+       semantics as $(b,guard --storm)) so the summary shows breaker and \
+       respawn activity."
+    in
+    Arg.(value & flag & info [ "storm" ] ~doc)
+  in
+  let canary =
+    let doc = "Canary rollout before promoting (default true)." in
+    Arg.(value & opt bool true & info [ "canary" ] ~docv:"BOOL" ~doc)
+  in
+  let slices =
+    let doc = "Soak rounds (traffic + supervision tick) after rollout." in
+    Arg.(value & opt int 8 & info [ "slices" ] ~docv:"N" ~doc)
+  in
+  let storm_sym (app : Workload.app) =
+    match app.Workload.a_name with
+    | "ngx" -> "ngx_http_get"
+    | "ltpd" -> "ltpd_handle_get"
+    | "rkv" -> "rkv_cmd_get"
+    | n ->
+        Printf.eprintf "--storm is not supported for %s\n" n;
+        exit 2
+  in
+  let action app feature storm canary slices =
+    let app = require_app app in
+    let feature = default_feature app feature in
+    let blocks, redirect = feature_blocks app feature in
+    let blocks, on_trap =
+      if storm then
+        ( blocks
+          @ [
+              Supervisor.block_of_sym (Common.app_exe app)
+                ~module_:app.Workload.a_name ~sym:(storm_sym app);
+            ],
+          `Terminate )
+      else (blocks, `Redirect redirect)
+    in
+    Fault.reset ();
+    let c = Workload.spawn app in
+    Workload.wait_ready c;
+    let m = c.Workload.m in
+    let session = Dynacut.create m ~root_pid:c.Workload.pid in
+    let sup =
+      Supervisor.create session ~config:Supervisor.default_config ~blocks
+        ~policy:{ Dynacut.method_ = `First_byte; on_trap }
+    in
+    let reqs =
+      if app.Workload.a_name = "rkv" then [ "GET somekey\n" ]
+      else Workload.web_wanted
+    in
+    let drive () =
+      List.iter (fun r -> ignore (Workload.rpc c r)) reqs;
+      ignore (Machine.run m ~max_cycles:20_000)
+    in
+    let rollout = Supervisor.guarded_cut sup ~canary ~drive () in
+    for _ = 1 to slices do
+      drive ();
+      Supervisor.tick sup
+    done;
+    let pid_counter name pid =
+      Obs.counter_value
+        (Obs.counter ~labels:[ ("pid", string_of_int pid) ] name)
+    in
+    let rows =
+      Machine.all_procs m
+      |> List.map (fun (p : Proc.t) -> p.Proc.pid)
+      |> List.sort compare
+      |> List.map (fun pid ->
+             let p = Machine.proc_exn m pid in
+             [
+               string_of_int pid;
+               p.Proc.comm;
+               Proc.state_to_string p.Proc.state;
+               string_of_int (pid_counter "machine.traps" pid);
+               string_of_int (pid_counter "supervisor.respawns" pid);
+             ])
+    in
+    print_string
+      (Table.render ~headers:[ "PID"; "COMM"; "STATE"; "TRAPS"; "RESPAWNS" ]
+         rows);
+    Format.printf "rollout: %a@." Supervisor.pp_rollout rollout;
+    Format.printf "breaker: %a (trips=%d)  steps=%d syscalls=%d traps=%d@."
+      Supervisor.pp_breaker
+      (Supervisor.breaker_state sup)
+      (Supervisor.trips sup)
+      (Obs.counter_value (Obs.counter "machine.steps"))
+      (Obs.counter_value (Obs.counter "machine.syscalls"))
+      (Obs.counter_value (Obs.counter "machine.traps"))
+  in
+  let doc =
+    "Guarded rollout, then a per-pid trap/respawn/breaker summary table \
+     from the metric registry."
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(const action $ app_opt_arg $ feature $ storm $ canary $ slices)
 
 (* ---------- crit ---------- *)
 
@@ -640,6 +872,8 @@ let () =
             cut_cmd;
             guard_cmd;
             recover_cmd;
+            stats_cmd;
+            top_cmd;
             crit_cmd;
             disasm_cmd;
             report_cmd;

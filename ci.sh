@@ -11,6 +11,12 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+# Bench smoke (DESIGN.md §6): one instrumented ngx cut + re-enable with
+# the per-stage breakdown and the registry-on/registry-off overhead
+# bound, written to BENCH_obs.json.
+echo "== bench --quick (observability smoke) =="
+dune exec bench/main.exe -- --quick
+
 # Crash-recovery matrix (DESIGN.md §5d): kill the controller at every
 # registered fault site mid-cut, recover, and assert each pid is fully
 # cut XOR fully original. The matrix fails on any site left unexercised.

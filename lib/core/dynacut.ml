@@ -72,6 +72,13 @@ let create ?(journal = true) (machine : Machine.t) ~(root_pid : int) : session =
   let epoch =
     match journal with Some j -> Journal.lock_epoch j + 1 | None -> 1
   in
+  (* pre-register the pipeline span set so the exposed stage breakdown is
+     stable from the first dump, even before any stage has run *)
+  List.iter Obs.register_span
+    [
+      "checkpoint"; "crit"; "rewrite"; "inject"; "restore"; "tcp_repair";
+      "journal.lock"; "journal.append"; "recover.replay";
+    ];
   {
     machine;
     root_pid;
@@ -541,11 +548,15 @@ let run_transaction s ~op ~pids ~max_retries ~retry_classes
   s.next_txid <- txid + 1;
   let retries = ref 0 and backoff_total = ref 0 in
   let zero = { t_checkpoint = 0.; t_disable = 0.; t_handler = 0.; t_restore = 0. } in
+  let op_str = match op with Journal.Cut -> "cut" | Journal.Reenable -> "reenable" in
   let finish_rollback stage e t =
     restore_state s saved;
     reset_working s pids;
     thaw_all s pids;
     jrnl_abort s ~txid;
+    Obs.incr (Obs.counter ~labels:[ ("op", op_str) ] "dynacut.rollbacks");
+    Obs.event ~kind:"dynacut"
+      (Printf.sprintf "tx=%d %s rolled back at %s" txid op_str stage);
     {
       r_journals = [];
       r_timings = t;
@@ -564,6 +575,7 @@ let run_transaction s ~op ~pids ~max_retries ~retry_classes
     | exception (Stage_failed (stage, e) as failure) ->
         if is_transient ~retry_classes failure && !retries < max_retries then begin
           incr retries;
+          Obs.incr (Obs.counter "dynacut.retries");
           backoff_total := !backoff_total + do_backoff s ~attempt:!retries;
           with_retries step
         end
@@ -577,7 +589,7 @@ let run_transaction s ~op ~pids ~max_retries ~retry_classes
     match guard "journal" (fun () -> jrnl_open s ~txid ~op ~pids) with
     | () ->
         with_retries (fun () ->
-            Stats.time_it (fun () ->
+            Obs.timed_span "checkpoint" (fun () ->
                 guard "checkpoint" (fun () -> stage_freeze s pids);
                 guard "journal" (fun () -> jrnl_append s (Journal.Frozen txid));
                 guard "checkpoint" (fun () -> stage_dump s pids);
@@ -602,6 +614,7 @@ let run_transaction s ~op ~pids ~max_retries ~retry_classes
                 if is_transient ~retry_classes failure && !retries < max_retries
                 then begin
                   incr retries;
+                  Obs.incr (Obs.counter "dynacut.retries");
                   backoff_total := !backoff_total + do_backoff s ~attempt:!retries;
                   edit (att :: rest)
                 end
@@ -620,7 +633,8 @@ let run_transaction s ~op ~pids ~max_retries ~retry_classes
             with
             | () ->
                 with_retries (fun () ->
-                    Stats.time_it (fun () -> commit_restore s ~txid pids))
+                    Obs.timed_span "restore" (fun () ->
+                        commit_restore s ~txid pids))
             | exception Stage_failed (stage, e) -> `Failed (stage, e)
           with
           | `Failed (stage, e) ->
@@ -630,6 +644,12 @@ let run_transaction s ~op ~pids ~max_retries ~retry_classes
               (* [Commit] is on storage (last act of [commit_restore]);
                  the journal has served its purpose *)
               jrnl_finish s;
+              Obs.incr (Obs.counter ~labels:[ ("op", op_str) ] "dynacut.commits");
+              if !degraded then Obs.incr (Obs.counter "dynacut.degraded");
+              Obs.event ~kind:"dynacut"
+                (Printf.sprintf "tx=%d %s committed%s (%d retries)" txid op_str
+                   (if !degraded then " degraded" else "")
+                   !retries);
               {
                 r_journals = journals;
                 r_timings = { t_checkpoint; t_disable; t_handler; t_restore };
@@ -657,11 +677,11 @@ let try_cut (s : session) ?(max_retries = default_max_retries)
   let attempt method_ () =
     s.cut_count <- s.cut_count + 1;
     let journals, t_disable =
-      Stats.time_it (fun () ->
+      Obs.timed_span "rewrite" (fun () ->
           guard "rewrite" (fun () -> stage_disable s pids ~blocks ~method_))
     in
     let (), t_handler =
-      Stats.time_it (fun () ->
+      Obs.timed_span "inject" (fun () ->
           guard "inject" (fun () ->
               stage_handler s pids ~blocks ~on_trap:policy.on_trap ~journals))
     in
@@ -685,7 +705,7 @@ let try_reenable (s : session) ?(max_retries = default_max_retries)
   let pids = match pids with Some l -> l | None -> tree_pids s in
   let attempt () =
     let (), t_disable =
-      Stats.time_it (fun () ->
+      Obs.timed_span "rewrite" (fun () ->
           guard "rewrite" (fun () -> reenable_edits s pids journals))
     in
     guard "validate" (fun () ->
@@ -729,16 +749,18 @@ let reenable (s : session) (journals : Rewriter.journal list) : timings =
     clears the filter. *)
 let apply_seccomp (s : session) ~(denied : int list option) : timings =
   let pids = tree_pids s in
-  let (), t_checkpoint = Stats.time_it (fun () -> stage_checkpoint s pids) in
+  let (), t_checkpoint =
+    Obs.timed_span "checkpoint" (fun () -> stage_checkpoint s pids)
+  in
   let (), t_disable =
-    Stats.time_it (fun () ->
+    Obs.timed_span "rewrite" (fun () ->
         List.iter
           (fun pid ->
             let img = load_image s pid in
             store_image s (Rewriter.set_seccomp img ~denied))
           pids)
   in
-  let (), t_restore = Stats.time_it (fun () -> stage_restore s pids) in
+  let (), t_restore = Obs.timed_span "restore" (fun () -> stage_restore s pids) in
   { t_checkpoint; t_disable; t_handler = 0.; t_restore }
 
 (** Read the verifier's false-positive log from the live process
@@ -859,6 +881,7 @@ let recover (machine : Machine.t) ~(root_pid : int) : recovery =
     let respawned =
       List.filter_map
         (fun (pid, path) ->
+          Obs.with_span "recover.replay" @@ fun () ->
           Fault.site "recover.replay";
           let live =
             match Machine.proc machine pid with
@@ -886,6 +909,7 @@ let recover (machine : Machine.t) ~(root_pid : int) : recovery =
        covers the tail, so the revival is best effort — but a sealed
        image beats a dead tree. *)
     let thaw_or_revive ~prefer ~fallback pid =
+      Obs.with_span "recover.replay" @@ fun () ->
       Fault.site "recover.replay";
       match Machine.proc machine pid with
       | Some p when Proc.is_live p -> Machine.thaw machine ~pid
@@ -914,6 +938,7 @@ let recover (machine : Machine.t) ~(root_pid : int) : recovery =
       | Some tx when tx.Journal.tx_images_saved ->
           List.iter
             (fun pid ->
+              Obs.with_span "recover.replay" @@ fun () ->
               Fault.site "recover.replay";
               Machine.reap machine ~pid;
               let img =
@@ -942,6 +967,15 @@ let recover (machine : Machine.t) ~(root_pid : int) : recovery =
     in
     (* quiesce the journal; the bumped lock stays behind as the fence *)
     Journal.clear j;
+    Obs.incr (Obs.counter "dynacut.recoveries");
+    Obs.event ~kind:"recover"
+      (Printf.sprintf "tx=%d action=%s pids=%d respawned=%d epoch=%d" txid
+         (match action with
+         | `Nothing -> "nothing"
+         | `Completed -> "completed"
+         | `Rolled_back -> "rolled_back"
+         | `Thawed -> "thawed")
+         (List.length pids) (List.length respawned) epoch);
     {
       rec_action = action;
       rec_txid = txid;

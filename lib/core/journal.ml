@@ -177,6 +177,7 @@ let lock_epoch (t : t) : int =
 (** Stamp the lock with [epoch], unconditionally — recovery's fencing
     move. Transaction paths use {!acquire}. *)
 let write_lock (t : t) ~(epoch : int) : unit =
+  Obs.with_span "journal.lock" @@ fun () ->
   Fault.site "journal.lock";
   let open Bytesx.W in
   let b = create ~size:16 () in
@@ -196,11 +197,13 @@ let acquire (t : t) ~(epoch : int) : unit =
     first (raises {!Fenced} otherwise — a fenced controller must stop,
     not write). *)
 let append (t : t) ~(epoch : int) (r : record) : unit =
+  Obs.with_span "journal.append" @@ fun () ->
   Fault.site "journal.append";
   let held = lock_epoch t in
   if held <> epoch then raise (Fenced { epoch; lock_epoch = held });
   let prev = Option.value ~default:"" (Vfs.find t.fs (journal_path t)) in
-  Vfs.add t.fs (journal_path t) (prev ^ Validate.seal (encode_record r))
+  Vfs.add t.fs (journal_path t) (prev ^ Validate.seal (encode_record r));
+  Obs.event ~kind:"journal" (Format.asprintf "%a" pp_record r)
 
 (** Remove the journal file only (recovery keeps its bumped lock behind
     as a fence). *)

@@ -112,7 +112,32 @@ type t = {
 
 let clock t = t.session.Dynacut.machine.Machine.clock
 
-let emit t kind = t.events <- { e_clock = clock t; e_kind = kind } :: t.events
+(* every supervisor decision is mirrored into the unified event ring
+   (same clock stamp as the private log, so the two replay identically),
+   and the decisions `top` summarizes also bump registry counters *)
+let emit t kind =
+  t.events <- { e_clock = clock t; e_kind = kind } :: t.events;
+  if Obs.enabled () then begin
+    Obs.event ~kind:"supervisor" (Format.asprintf "%a" pp_event_kind kind);
+    match kind with
+    | Breaker_tripped _ -> Obs.incr (Obs.counter "supervisor.trips")
+    | Respawned { pid; _ } ->
+        Obs.incr
+          (Obs.counter ~labels:[ ("pid", string_of_int pid) ]
+             "supervisor.respawns")
+    | _ -> ()
+  end
+
+let breaker_code = function
+  | Closed -> 0.
+  | Open _ -> 1.
+  | Half_open _ -> 2.
+  | Abandoned -> 3.
+
+let set_breaker t b =
+  t.breaker <- b;
+  Obs.set_gauge (Obs.gauge "supervisor.breaker") (breaker_code b)
+
 let event_log t = List.rev t.events
 
 let render_log t =
@@ -322,10 +347,10 @@ let trip t ~traps =
     t.trips <- next;
     emit t (Breaker_tripped { traps; trip = next });
     if next >= t.cfg.max_trips then begin
-      t.breaker <- Abandoned;
+      set_breaker t @@ Abandoned;
       emit t Abandoned_cut
     end
-    else t.breaker <- Open (Int64.add (clock t) t.cfg.cooldown)
+    else set_breaker t @@ Open (Int64.add (clock t) t.cfg.cooldown)
   end
 (* on failure: stay put, the next tick re-detects the storm and retries *)
 
@@ -337,15 +362,15 @@ let probe_recut t =
   with
   | exception Fault.Injected _ ->
       emit t (Probe_failed "fault during probe re-cut");
-      t.breaker <- Open (Int64.add (clock t) t.cfg.cooldown)
+      set_breaker t @@ Open (Int64.add (clock t) t.cfg.cooldown)
   | { Dynacut.r_outcome = `Rolled_back rb; _ } ->
       emit t (Probe_failed rb.Dynacut.rb_stage);
-      t.breaker <- Open (Int64.add (clock t) t.cfg.cooldown)
+      set_breaker t @@ Open (Int64.add (clock t) t.cfg.cooldown)
   | { Dynacut.r_outcome = `Applied | `Degraded; r_journals; _ } ->
       t.journals <- r_journals;
       emit t (Probe_recut pids);
       rebaseline t pids;
-      t.breaker <- Half_open (clock t)
+      set_breaker t @@ Half_open (clock t)
 
 let tick t =
   let window_traps = sample t in
@@ -360,7 +385,7 @@ let tick t =
       if breached t ~limit:t.cfg.half_open_max_traps window_traps then
         trip t ~traps:window_traps
       else if Int64.sub (clock t) since >= t.cfg.window then begin
-        t.breaker <- Closed;
+        set_breaker t @@ Closed;
         emit t Breaker_closed
       end
 
@@ -416,7 +441,7 @@ let guarded_cut t ?(canary = true) ~drive () =
     | Ok j ->
         t.journals <- j;
         t.cut_pids <- pids;
-        t.breaker <- Closed;
+        set_breaker t @@ Closed;
         emit t (Cut_applied pids);
         rebaseline t pids;
         R_promoted
@@ -471,7 +496,7 @@ let guarded_cut t ?(canary = true) ~drive () =
           | Ok rj ->
               t.journals <- cj @ rj;
               t.cut_pids <- cpid :: rest;
-              t.breaker <- Closed;
+              set_breaker t @@ Closed;
               emit t (Canary_promoted (cpid :: rest));
               rebaseline t t.cut_pids;
               R_promoted

@@ -154,5 +154,6 @@ let dump_tree (m : Machine.t) ~(root : int) ?(mode = Dynacut) () : Images.t list
 let save_to_tmpfs (m : Machine.t) ~(dir : string) (img : Images.t) : string =
   Fault.site "criu.save";
   let path = Printf.sprintf "%s/dump-%d.img" dir img.Images.core.Images.c_pid in
-  Vfs.add m.Machine.fs path (Validate.encode_sealed img);
+  let blob = Obs.with_span "crit" (fun () -> Validate.encode_sealed img) in
+  Vfs.add m.Machine.fs path blob;
   path

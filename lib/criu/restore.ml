@@ -108,11 +108,12 @@ let restore (m : Machine.t) (img : Images.t) : Proc.t =
   p.Proc.mmap_hint <- img.Images.mmap_hint;
   p.Proc.seccomp <- core.Images.c_seccomp;
   (* TCP repair *)
-  List.iter
-    (fun (s : Net.conn_snapshot) ->
-      Fault.site "restore.tcp_repair";
-      ignore (Net.repair_conn m.Machine.net s))
-    img.Images.tcp;
+  Obs.with_span "tcp_repair" (fun () ->
+      List.iter
+        (fun (s : Net.conn_snapshot) ->
+          Fault.site "restore.tcp_repair";
+          ignore (Net.repair_conn m.Machine.net s))
+        img.Images.tcp);
   (* re-create listeners for listening fds *)
   List.iter
     (fun (_, k) ->
@@ -132,7 +133,7 @@ let load_from_tmpfs (m : Machine.t) ~(path : string) : Images.t =
   Fault.site "criu.load";
   match Vfs.find m.Machine.fs path with
   | None -> raise (Restore_error ("no image at " ^ path))
-  | Some blob -> Validate.decode_sealed blob
+  | Some blob -> Obs.with_span "crit" (fun () -> Validate.decode_sealed blob)
 
 (** Restore from a serialized image in the machine tmpfs. *)
 let restore_from_tmpfs (m : Machine.t) ~(path : string) : Proc.t =

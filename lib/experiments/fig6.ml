@@ -22,37 +22,49 @@ let repetitions = 10
 
 let measure ~(app : Workload.app) ~(blocks : Covgraph.block list)
     ~(redirect : string) : row =
+  (* the per-stage times are read back from the observability registry's
+     span host axis (one observation per stage per repetition), not from
+     the timings struct — this figure is the registry's first consumer *)
+  Obs.reset ();
   let samples =
     List.init repetitions (fun rep ->
         let c = Workload.spawn ~seed:(100 + rep) app in
         Workload.wait_ready c;
         let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
-        let _journals, t =
+        let _journals, _t =
           Dynacut.cut session ~blocks
             ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
         in
-        (t, c, session))
+        (c, session))
   in
-  let ts = List.map (fun (t, _, _) -> t) samples in
-  let stat f = (Stats.mean (List.map f ts), Stats.stddev (List.map f ts)) in
+  let stat span =
+    let vs = Obs.span_seconds span in
+    assert (List.length vs = repetitions);
+    (Stats.mean vs, Stats.stddev vs)
+  in
   (* image sizes from one representative checkpoint *)
-  let _, c0, s0 = List.hd samples in
+  let c0, s0 = List.hd samples in
   let sizes =
     List.map
       (fun pid ->
         Images.image_size
-          (Images.decode
+          (Validate.decode_sealed
              (Option.get (Vfs.find c0.Workload.m.Machine.fs (Printf.sprintf "%s/dump-%d.img" s0.Dynacut.tmpfs pid)))))
       (Dynacut.tree_pids s0)
   in
+  let checkpoint = stat "checkpoint" in
+  let disable = stat "rewrite" in
+  let handler = stat "inject" in
+  let restore = stat "restore" in
   {
     f6_app = app.Workload.a_name;
     f6_image_sizes = sizes;
-    f6_checkpoint = stat (fun t -> t.Dynacut.t_checkpoint);
-    f6_disable = stat (fun t -> t.Dynacut.t_disable);
-    f6_handler = stat (fun t -> t.Dynacut.t_handler);
-    f6_restore = stat (fun t -> t.Dynacut.t_restore);
-    f6_total_mean = Stats.mean (List.map Dynacut.total_time ts);
+    f6_checkpoint = checkpoint;
+    f6_disable = disable;
+    f6_handler = handler;
+    f6_restore = restore;
+    f6_total_mean =
+      fst checkpoint +. fst disable +. fst handler +. fst restore;
     f6_nblocks = List.length blocks;
   }
 

@@ -26,11 +26,19 @@ type run = {
 
 let closed_loop_run ~(dynacut : bool) : run =
   let blocks = if dynacut then Common.rkv_feature_blocks Workload.kv_undesired else [] in
+  (* fresh registry per run: the vanilla and DynaCut curves use the same
+     counter names, and stale handles must not leak across runs *)
+  Obs.reset ();
   let c = Workload.spawn Workload.rkv in
   Workload.wait_ready c;
   let m = c.Workload.m in
   let session = if dynacut then Some (Dynacut.create m ~root_pid:c.Workload.pid) else None in
-  let counts = Array.make total_seconds 0 in
+  (* replies are counted in the observability registry (one labeled
+     counter per virtual second) instead of a private array; the
+     throughput curve is read back from it once the run ends *)
+  let reply_counter s =
+    Obs.counter ~labels:[ ("s", string_of_int s) ] "fig8.replies"
+  in
   let journals = ref [] in
   let interruption = ref 0 in
   (* closed-loop client state *)
@@ -48,7 +56,7 @@ let closed_loop_run ~(dynacut : bool) : run =
           let (_ : string) = Net.client_recv conn in
           Net.client_close conn;
           let s = now_s () in
-          if s < total_seconds then counts.(s) <- counts.(s) + 1;
+          if s < total_seconds then Obs.incr (reply_counter s);
           outstanding := None
         end);
     ignore (Machine.run m ~max_cycles:5_000)
@@ -101,7 +109,9 @@ let closed_loop_run ~(dynacut : bool) : run =
     if r <> "+OK" then failwith ("fig8: SET not re-enabled: " ^ r)
   end;
   {
-    f8_throughput = Array.map float_of_int counts;
+    f8_throughput =
+      Array.init total_seconds (fun s ->
+          float_of_int (Obs.counter_value (reply_counter s)));
     f8_interruption_s = float_of_int !interruption /. float_of_int cycles_per_second;
     f8_label = (if dynacut then "w/ DynaCut" else "w/o DynaCut");
   }

@@ -32,22 +32,35 @@ type t = {
   rng : Rng.t;
   syscall_cost : int;  (** extra cycles charged per syscall *)
   mutable spawn_order : int list;  (** pids in creation order, for RR *)
+  obs_steps : Obs.counter;  (** cached registry handles: the interpreter *)
+  obs_traps : Obs.counter;  (** bumps these once per event, so the lookup *)
+  obs_syscalls : Obs.counter;  (** cost is paid at [create], not per insn *)
 }
 
 let create ?(seed = 42) () =
-  {
-    fs = Vfs.create ();
-    net = Net.create ();
-    procs = Hashtbl.create 8;
-    next_pid = 100;
-    clock = 0L;
-    trace = None;
-    on_syscall = None;
-    on_exit = None;
-    rng = Rng.create seed;
-    syscall_cost = 40;
-    spawn_order = [];
-  }
+  let t =
+    {
+      fs = Vfs.create ();
+      net = Net.create ();
+      procs = Hashtbl.create 8;
+      next_pid = 100;
+      clock = 0L;
+      trace = None;
+      on_syscall = None;
+      on_exit = None;
+      rng = Rng.create seed;
+      syscall_cost = 40;
+      spawn_order = [];
+      obs_steps = Obs.counter "machine.steps";
+      obs_traps = Obs.counter "machine.traps";
+      obs_syscalls = Obs.counter "machine.syscalls";
+    }
+  in
+  (* the registry's event/span timestamps follow this machine's virtual
+     clock from here on (last machine created wins — scenarios build the
+     machine under test last) *)
+  Obs.set_clock (Some (fun () -> t.clock));
+  t
 
 let proc t pid = Hashtbl.find_opt t.procs pid
 
@@ -212,6 +225,7 @@ let fd_kind (p : Proc.t) fd = Hashtbl.find_opt p.Proc.fds (Int64.to_int fd)
 let do_syscall t (p : Proc.t) : sys_outcome =
   let regs = p.Proc.regs in
   let nr = Int64.to_int (Proc.get regs Reg.Rax) in
+  Obs.incr t.obs_syscalls;
   (match t.on_syscall with Some hook -> hook p nr | None -> ());
   (* seccomp-style filtering (paper §5): a denied syscall delivers
      SIGSYS, whose default action terminates *)
@@ -437,12 +451,22 @@ let step_insn t (p : Proc.t) =
       (* breakpoint: saved rip = the int3 itself, so a verifier handler can
          restore the original byte and simply sigreturn to retry (§3.2.3) *)
       t.clock <- Int64.add t.clock 1L;
+      Obs.incr t.obs_traps;
+      if Obs.enabled () then begin
+        Obs.incr
+          (Obs.counter
+             ~labels:[ ("pid", string_of_int p.Proc.pid) ]
+             "machine.traps");
+        Obs.event ~kind:"trap"
+          (Printf.sprintf "pid=%d comm=%s rip=0x%Lx" p.Proc.pid p.Proc.comm rip)
+      end;
       deliver_signal t p ~signum:Abi.sigtrap ~at:rip
   | insn, len -> (
       if p.Proc.block_start = None then p.Proc.block_start <- Some rip;
       let next = Int64.add rip (Int64.of_int len) in
       t.clock <- Int64.add t.clock 1L;
       p.Proc.retired <- Int64.add p.Proc.retired 1L;
+      Obs.incr t.obs_steps;
       let g r = Proc.get regs r and s r v = Proc.set regs r v in
       let goto target =
         end_block t p ~next;

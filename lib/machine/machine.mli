@@ -27,9 +27,17 @@ type t = {
   rng : Rng.t;  (** feeds the guest [rand] syscall *)
   syscall_cost : int;
   mutable spawn_order : int list;
+  obs_steps : Obs.counter;
+      (** registry handles cached at {!create} so the interpreter's
+          per-instruction bump costs a field write, not a name lookup *)
+  obs_traps : Obs.counter;
+  obs_syscalls : Obs.counter;
 }
 
 val create : ?seed:int -> unit -> t
+(** Also installs this machine's virtual clock as the registry's
+    timestamp source ([Obs.set_clock]); the most recently created
+    machine wins. *)
 
 (** {2 Processes} *)
 

@@ -103,6 +103,10 @@ let site name =
         | One_shot -> Hashtbl.remove armed_tbl name
         | Every_nth _ | Probability _ -> ());
         c.c_fired <- c.c_fired + 1;
+        Obs.incr (Obs.counter ~labels:[ ("site", name) ] "fault.fired");
+        Obs.event ~kind:"fault"
+          (Printf.sprintf "%s fired=%d%s" name c.c_fired
+             (if a.a_kill then " kill" else if a.a_transient then " transient" else ""));
         if a.a_kill then raise (Controller_killed { site = name })
         else raise (Injected { site = name; transient = a.a_transient })
       end
@@ -154,6 +158,12 @@ let known_sites =
     ("journal.append", "append a sealed record to the crash-consistency journal");
     ("recover.replay", "apply one recovery action (respawn, pristine restore, thaw)");
   ]
+
+(** Run-wide per-site fired count as recorded in the metric registry.
+    Unlike {!fired} it survives {!reset} (only [Obs.reset] clears it), so
+    a multi-phase scenario can report every injection that ever fired. *)
+let registry_fired site =
+  Obs.counter_value (Obs.counter ~labels:[ ("site", site) ] "fault.fired")
 
 (** One line per known site: "site hits/fired". *)
 let report () =

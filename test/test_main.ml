@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dynacut"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("isa", Test_isa.suite);
       ("elf", Test_elf.suite);
       ("machine", Test_machine.suite);

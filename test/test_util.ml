@@ -134,7 +134,20 @@ let test_stats_percentile () =
   let xs = List.init 101 float_of_int in
   Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile 50. xs);
   Alcotest.(check (float 1e-9)) "p0" 0. (Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Stats.percentile 99. xs);
   Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile 100. xs)
+
+(* pin the estimator itself: type-7 linear interpolation over the sorted
+   sample, input order irrelevant, p clamped to [0,100], empty -> 0 *)
+let test_stats_percentile_interp () =
+  let xs = [ 40.; 10.; 30.; 20. ] in
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 25. (Stats.percentile 50. xs);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 17.5 (Stats.percentile 25. xs);
+  Alcotest.(check (float 1e-9)) "p99 interpolates" 39.7 (Stats.percentile 99. xs);
+  Alcotest.(check (float 1e-9)) "p<0 clamps" 10. (Stats.percentile (-5.) xs);
+  Alcotest.(check (float 1e-9)) "p>100 clamps" 40. (Stats.percentile 200. xs);
+  Alcotest.(check (float 1e-9)) "singleton" 7. (Stats.percentile 90. [ 7. ]);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Stats.percentile 50. [])
 
 let suite =
   [
@@ -153,4 +166,6 @@ let suite =
     Alcotest.test_case "human bytes" `Quick test_human_bytes;
     Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentile interpolation" `Quick
+      test_stats_percentile_interp;
   ]
