@@ -210,6 +210,97 @@ let run_obs () =
   close_out oc;
   Format.fprintf fmt "  wrote BENCH_obs.json@."
 
+(* ---------- fleet: fan-out throughput + rollout pause ---------- *)
+
+(* The §6a fleet numbers: closed-loop requests through the kernel's
+   round-robin listener fan-out as the worker count scales (virtual-
+   clock throughput), and the per-wave pause a rolling rollout imposes
+   on a 6-worker fleet. Emits BENCH_fleet.json; --quick shrinks the
+   sweep for the ci smoke. *)
+let run_fleet () =
+  Common.section fmt "Fleet: fan-out throughput + rollout pause";
+  let app = Workload.ltpd in
+  let blocks = Common.web_feature_blocks app in
+  let policy =
+    { Dynacut.method_ = `First_byte; on_trap = `Redirect "ltpd_403" }
+  in
+  let counts = if !quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let requests = if !quick then 60 else 200 in
+  let get = Workload.http_get "/index.html" in
+  let throughput =
+    List.map
+      (fun n ->
+        Fault.reset ();
+        let ctxs = Workload.spawn_fleet ~n app in
+        Workload.wait_fleet_ready ctxs;
+        let m = (List.hd ctxs).Workload.m in
+        let pids = List.map (fun c -> c.Workload.pid) ctxs in
+        let fleet = Fleet.create m ~port:Ltpd.port ~pids ~blocks ~policy in
+        let start = m.Machine.clock in
+        let served = ref 0 in
+        for _ = 1 to requests do
+          match Fleet.request fleet get with
+          | `Reply _ -> incr served
+          | `Refused -> ()
+        done;
+        let cycles = Int64.sub m.Machine.clock start in
+        let per_mcycle =
+          float_of_int !served /. (Int64.to_float cycles /. 1e6)
+        in
+        Format.fprintf fmt
+          "  workers=%d served=%d/%d cycles=%Ld  %.1f req/Mcycle@." n !served
+          requests cycles per_mcycle;
+        (n, !served, per_mcycle))
+      counts
+  in
+  (* per-wave rollout pause on a 6-worker fleet *)
+  Fault.reset ();
+  let wn = 6 and waves = 3 in
+  let ctxs = Workload.spawn_fleet ~n:wn app in
+  Workload.wait_fleet_ready ctxs;
+  let m = (List.hd ctxs).Workload.m in
+  let pids = List.map (fun c -> c.Workload.pid) ctxs in
+  let fleet = Fleet.create m ~port:Ltpd.port ~pids ~blocks ~policy in
+  let drive () = ignore (Fleet.request fleet get) in
+  let config =
+    Rollout.
+      {
+        r_waves = waves;
+        r_sup =
+          { Supervisor.default_config with Supervisor.canary_windows = 1 };
+      }
+  in
+  let outcome, reports = Fleet.rollout fleet ~config ~drive () in
+  (match outcome with
+  | Rollout.Completed _ -> ()
+  | o ->
+      Format.fprintf fmt "  WARNING rollout: %a@." Rollout.pp_outcome o);
+  List.iter
+    (fun (r : Rollout.wave_report) ->
+      Format.fprintf fmt "  wave %d (%d workers) pause %Ld cycles@."
+        r.Rollout.wr_wave
+        (List.length r.Rollout.wr_pids)
+        r.Rollout.wr_pause_cycles)
+    reports;
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc "{\n  \"app\": %S,\n  \"requests\": %d" app.Workload.a_name
+    requests;
+  List.iter
+    (fun (n, served, per_mcycle) ->
+      Printf.fprintf oc ",\n  \"served_w%d\": %d,\n  \"req_per_mcycle_w%d\": %.2f"
+        n served n per_mcycle)
+    throughput;
+  Printf.fprintf oc ",\n  \"rollout_workers\": %d,\n  \"rollout_waves\": %d" wn
+    waves;
+  List.iter
+    (fun (r : Rollout.wave_report) ->
+      Printf.fprintf oc ",\n  \"wave%d_pause_cycles\": %Ld" r.Rollout.wr_wave
+        r.Rollout.wr_pause_cycles)
+    reports;
+  Printf.fprintf oc "\n}\n";
+  close_out oc;
+  Format.fprintf fmt "  wrote BENCH_fleet.json@."
+
 (* ---------- experiment registry ---------- *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -226,6 +317,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "policy / normalization / autophase / libcut ablations", fun () -> ignore (Ablation.run fmt));
     ("robustness", "journaling overhead + crash-recovery time (§5d)", run_robustness);
     ("obs", "observability breakdown + registry overhead", run_obs);
+    ("fleet", "fan-out throughput + rollout pause per wave (§6a)", run_fleet);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 

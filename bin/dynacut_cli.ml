@@ -675,6 +675,200 @@ let stats_cmd =
       const action $ app_opt_arg $ feature $ probe $ json $ host $ out_arg
       $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg)
 
+(* ---------- fleet ---------- *)
+
+let server_port (app : Workload.app) =
+  match app.Workload.a_port with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "%s is a batch app; fleet needs a server (ltpd | ngx | rkv)\n"
+        app.Workload.a_name;
+      exit 2
+
+let wanted_mix (app : Workload.app) =
+  if app.Workload.a_name = "rkv" then Workload.kv_wanted else Workload.web_wanted
+
+let undesired_mix (app : Workload.app) =
+  if app.Workload.a_name = "rkv" then Workload.kv_undesired
+  else Workload.web_undesired
+
+let fleet_cmd =
+  let feature =
+    let doc =
+      "Feature to roll out across the fleet (same choices as $(b,cut)); \
+       default put-delete for the web servers, SET for rkv."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+  in
+  let workers =
+    let doc = "Number of fleet workers behind the round-robin fan-out." in
+    Arg.(value & opt int 6 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let waves =
+    let doc = "Number of rollout waves the fleet is chunked into." in
+    Arg.(value & opt int 3 & info [ "waves" ] ~docv:"K" ~doc)
+  in
+  let drift_window =
+    let doc =
+      "Drift-monitor sampling window in virtual cycles (live windowed \
+       drcov); 0 disables the post-rollout drift soak."
+    in
+    Arg.(value & opt int 50_000 & info [ "drift-window" ] ~docv:"W" ~doc)
+  in
+  let storm_wave =
+    let doc =
+      "From wave $(docv) onward, drive the app's undesired mix instead of \
+       the wanted mix — that wave's canary breaches its trap SLO and the \
+       rollout halts with earlier waves still cut (exit 4)."
+    in
+    Arg.(value & opt (some int) None & info [ "storm-wave" ] ~docv:"K" ~doc)
+  in
+  let slices =
+    let doc = "Drift soak rounds (wanted traffic + one monitor tick each)." in
+    Arg.(value & opt int 6 & info [ "slices" ] ~docv:"N" ~doc)
+  in
+  let action app feature workers waves drift_window storm_wave slices faults
+      seed list_sites verbose metrics =
+    if list_sites && app = None then begin
+      print_fault_sites ~verbose ();
+      exit 0
+    end;
+    let app = require_app app in
+    let port = server_port app in
+    let feature = default_feature app feature in
+    let blocks, redirect = feature_blocks app feature in
+    arm_faults ?seed faults;
+    let traced = drift_window > 0 in
+    let ctxs = Workload.spawn_fleet ~traced ~n:workers app in
+    Workload.wait_fleet_ready ctxs;
+    let m = (List.hd ctxs).Workload.m in
+    let pids = List.map (fun c -> c.Workload.pid) ctxs in
+    let fleet =
+      Fleet.create m ~port ~pids ~blocks
+        ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
+    in
+    let send reqs = List.iter (fun r -> ignore (Fleet.request fleet r)) reqs in
+    let drive () =
+      let w = int_of_float (Obs.gauge_value (Obs.gauge "fleet.wave")) in
+      match storm_wave with
+      | Some k when w >= k ->
+          (* the round-robin fan-out spreads the batch across the whole
+             fleet, so repeat the mix per worker to breach the canary's
+             per-window trap SLO *)
+          for _ = 1 to workers do
+            send (undesired_mix app)
+          done
+      | _ -> send (wanted_mix app)
+    in
+    let config =
+      Rollout.
+        {
+          r_waves = waves;
+          r_sup =
+            { Supervisor.default_config with Supervisor.canary_windows = 1 };
+        }
+    in
+    let finish code =
+      if faults <> [] then print_endline (Fault.report ());
+      if list_sites then print_fault_sites ~verbose ();
+      write_metrics metrics;
+      exit code
+    in
+    match Fleet.rollout fleet ~config ~drive () with
+    | exception Fault.Controller_killed { site } ->
+        (* a :kill fault staged a controller death mid-rollout: recover
+           the fleet as a fresh controller would *)
+        Format.printf "controller killed at %s@." site;
+        let r = Fleet.recover m ~pids in
+        Format.printf "recover: %a@." Fleet.pp_recovery r;
+        finish 6
+    | outcome, reports ->
+        List.iter
+          (fun (r : Rollout.wave_report) ->
+            Format.printf "wave %d pids=[%s] pause=%Ld cycles@."
+              r.Rollout.wr_wave
+              (String.concat ";" (List.map string_of_int r.Rollout.wr_pids))
+              r.Rollout.wr_pause_cycles)
+          reports;
+        Format.printf "rollout: %a@." Rollout.pp_outcome outcome;
+        if drift_window > 0 then begin
+          Fleet.start_drift fleet
+            ~config:
+              Drift.
+                {
+                  default_config with
+                  d_period = Int64.of_int drift_window;
+                }
+            ~collector:(Workload.collector (List.hd ctxs))
+            ();
+          for _ = 1 to slices do
+            send (wanted_mix app);
+            match Fleet.tick fleet with
+            | Some a -> Format.printf "drift: %a@." Drift.pp_action a
+            | None -> ()
+          done
+        end;
+        let pid_counter name pid =
+          Obs.counter_value
+            (Obs.counter ~labels:[ ("pid", string_of_int pid) ] name)
+        in
+        let rows =
+          Fleet.workers fleet
+          |> List.sort (fun a b -> compare a.Rollout.w_pid b.Rollout.w_pid)
+          |> List.map (fun (w : Rollout.worker) ->
+                 let p = Machine.proc_exn m w.Rollout.w_pid in
+                 [
+                   string_of_int w.Rollout.w_pid;
+                   p.Proc.comm;
+                   Proc.state_to_string p.Proc.state;
+                   (if w.Rollout.w_wave < 0 then "-"
+                    else string_of_int w.Rollout.w_wave);
+                   w.Rollout.w_state;
+                   Int64.to_string w.Rollout.w_since;
+                   string_of_int (pid_counter "machine.traps" w.Rollout.w_pid);
+                   string_of_int (pid_counter "fleet.dispatches" w.Rollout.w_pid);
+                 ])
+        in
+        print_string
+          (Table.render
+             ~headers:
+               [ "PID"; "COMM"; "STATE"; "WAVE"; "LAST"; "SINCE"; "TRAPS"; "REQS" ]
+             rows);
+        print_newline ();
+        Format.printf "drift score %.2f  refused %d@."
+          (Obs.gauge_value (Obs.gauge "fleet.drift_score"))
+          (Obs.counter_value (Obs.counter "fleet.refused"));
+        finish (match outcome with Rollout.Completed _ -> 0 | Rollout.Halted _ -> 4)
+  in
+  let doc =
+    "Boot N workers of one app behind the kernel's round-robin listener \
+     fan-out, roll a cut out wave-by-wave with a canary gating each wave, \
+     then soak under the coverage-drift monitor."
+  in
+  let man =
+    [
+      `S "EXIT STATUS";
+      `P "0: the rollout completed every wave (drift actions are normal \
+          operation, not failures).";
+      `P "2: usage error (unknown app, feature, fault spec, or a batch \
+          app without a port).";
+      `P
+        "4: the rollout halted — a wave's canary was rejected or a member \
+         cut rolled back; the interrupted wave was reverted to original \
+         while earlier waves stay cut.";
+      `P
+        "6: a staged ':kill' fault killed the controller mid-rollout and \
+         fleet recovery converged the workers (per-pid applied XOR \
+         unchanged, open wave unwound).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc ~man)
+    Term.(
+      const action $ app_opt_arg $ feature $ workers $ waves $ drift_window
+      $ storm_wave $ slices $ inject_fault_arg $ fault_seed_arg
+      $ list_fault_sites_arg $ verbose_arg $ metrics_out_arg)
+
 (* ---------- top ---------- *)
 
 let top_cmd =
@@ -710,7 +904,79 @@ let top_cmd =
         Printf.eprintf "--storm is not supported for %s\n" n;
         exit 2
   in
-  let action app feature storm canary slices =
+  let fleet_n =
+    let doc =
+      "Fleet mode: boot $(docv) workers, roll the cut out wave-by-wave, \
+       soak under the drift monitor, and add per-worker WAVE / DRIFT / \
+       LAST columns to the table."
+    in
+    Arg.(value & opt int 0 & info [ "fleet" ] ~docv:"N" ~doc)
+  in
+  let pid_counter name pid =
+    Obs.counter_value
+      (Obs.counter ~labels:[ ("pid", string_of_int pid) ] name)
+  in
+  let fleet_action app feature slices n =
+    let blocks, redirect = feature_blocks app feature in
+    Fault.reset ();
+    let ctxs = Workload.spawn_fleet ~traced:true ~n app in
+    Workload.wait_fleet_ready ctxs;
+    let m = (List.hd ctxs).Workload.m in
+    let pids = List.map (fun c -> c.Workload.pid) ctxs in
+    let fleet =
+      Fleet.create m ~port:(server_port app) ~pids ~blocks
+        ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
+    in
+    let reqs = wanted_mix app in
+    let drive () = List.iter (fun r -> ignore (Fleet.request fleet r)) reqs in
+    let config =
+      Rollout.
+        {
+          r_waves = min 3 n;
+          r_sup =
+            { Supervisor.default_config with Supervisor.canary_windows = 1 };
+        }
+    in
+    let outcome, _ = Fleet.rollout fleet ~config ~drive () in
+    Fleet.start_drift fleet ~collector:(Workload.collector (List.hd ctxs)) ();
+    for _ = 1 to slices do
+      drive ();
+      ignore (Fleet.tick fleet)
+    done;
+    let drift = Printf.sprintf "%.2f" (Obs.gauge_value (Obs.gauge "fleet.drift_score")) in
+    let rows =
+      Fleet.workers fleet
+      |> List.sort (fun a b -> compare a.Rollout.w_pid b.Rollout.w_pid)
+      |> List.map (fun (w : Rollout.worker) ->
+             let p = Machine.proc_exn m w.Rollout.w_pid in
+             [
+               string_of_int w.Rollout.w_pid;
+               p.Proc.comm;
+               Proc.state_to_string p.Proc.state;
+               string_of_int (pid_counter "machine.traps" w.Rollout.w_pid);
+               (if w.Rollout.w_wave < 0 then "-"
+                else string_of_int w.Rollout.w_wave);
+               drift;
+               Printf.sprintf "%s@%Ld" w.Rollout.w_state w.Rollout.w_since;
+             ])
+    in
+    print_string
+      (Table.render
+         ~headers:[ "PID"; "COMM"; "STATE"; "TRAPS"; "WAVE"; "DRIFT"; "LAST" ]
+         rows);
+    print_newline ();
+    Format.printf "rollout: %a  reqs=%d refused=%d traps=%d@."
+      Rollout.pp_outcome outcome
+      (List.fold_left (fun a pid -> a + pid_counter "fleet.dispatches" pid) 0 pids)
+      (Obs.counter_value (Obs.counter "fleet.refused"))
+      (Obs.counter_value (Obs.counter "machine.traps"))
+  in
+  let action app feature storm canary slices fleet_n =
+    if fleet_n > 0 then begin
+      let app = require_app app in
+      fleet_action app (default_feature app feature) slices fleet_n;
+      exit 0
+    end;
     let app = require_app app in
     let feature = default_feature app feature in
     let blocks, redirect = feature_blocks app feature in
@@ -746,10 +1012,6 @@ let top_cmd =
       drive ();
       Supervisor.tick sup
     done;
-    let pid_counter name pid =
-      Obs.counter_value
-        (Obs.counter ~labels:[ ("pid", string_of_int pid) ] name)
-    in
     let rows =
       Machine.all_procs m
       |> List.map (fun (p : Proc.t) -> p.Proc.pid)
@@ -778,11 +1040,12 @@ let top_cmd =
   in
   let doc =
     "Guarded rollout, then a per-pid trap/respawn/breaker summary table \
-     from the metric registry."
+     from the metric registry (--fleet N for the fleet view)."
   in
   Cmd.v
     (Cmd.info "top" ~doc)
-    Term.(const action $ app_opt_arg $ feature $ storm $ canary $ slices)
+    Term.(
+      const action $ app_opt_arg $ feature $ storm $ canary $ slices $ fleet_n)
 
 (* ---------- crit ---------- *)
 
@@ -872,6 +1135,7 @@ let () =
             cut_cmd;
             guard_cmd;
             recover_cmd;
+            fleet_cmd;
             stats_cmd;
             top_cmd;
             crit_cmd;

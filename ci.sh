@@ -17,6 +17,11 @@ dune runtest
 echo "== bench --quick (observability smoke) =="
 dune exec bench/main.exe -- --quick
 
+# Fleet smoke (DESIGN.md §6a): fan-out throughput over a small worker
+# sweep plus the per-wave rollout pause, written to BENCH_fleet.json.
+echo "== bench --quick fleet =="
+dune exec bench/main.exe -- --quick fleet
+
 # Crash-recovery matrix (DESIGN.md §5d): kill the controller at every
 # registered fault site mid-cut, recover, and assert each pid is fully
 # cut XOR fully original. The matrix fails on any site left unexercised.

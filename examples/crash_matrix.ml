@@ -265,6 +265,160 @@ let recover_crash site =
   assert_xor ~site ~what:"after recover" c session effective originals;
   assert_serving ~site ~what:"after recover" c
 
+(* ---------- fleet scenarios (§6a sites) ----------
+   These run on an ltpd worker fleet: N single-process trees behind the
+   round-robin fan-out, each with its own session + journal, plus the
+   fleet manifest. The XOR invariant here is per worker pid. *)
+
+let lapp = Workload.ltpd
+let lget = "GET /index.html HTTP/1.0\r\n\r\n"
+let lblocks = lazy (Common.web_feature_blocks lapp)
+
+let lpolicy =
+  { Dynacut.method_ = `First_byte; on_trap = `Redirect "ltpd_403" }
+
+let fleet_boot ?(traced = false) ~n () =
+  let ctxs = Workload.spawn_fleet ~traced ~n lapp in
+  Workload.wait_fleet_ready ctxs;
+  let m = (List.hd ctxs).Workload.m in
+  let pids = List.map (fun c -> c.Workload.pid) ctxs in
+  let fleet =
+    Fleet.create m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
+      ~policy:lpolicy
+  in
+  (ctxs, m, pids, fleet)
+
+let fleet_byte m pid (b : Covgraph.block) =
+  Mem.peek8
+    (Machine.proc_exn m pid).Proc.mem
+    (Int64.add (Common.app_exe lapp).Self.base (Int64.of_int b.Covgraph.b_off))
+
+let fleet_effective fleet =
+  let w = List.hd (Fleet.workers fleet) in
+  Dynacut.redirect_filter w.Rollout.w_session ~sym:"ltpd_403"
+    (Lazy.force lblocks)
+
+(* per-pid XOR across the whole fleet, plus the expected side of the XOR
+   for every worker ([cut_pids] cut, the rest original) *)
+let assert_fleet_xor ~site ~what m pids effective originals ~cut_pids =
+  List.iter
+    (fun pid ->
+      let got = List.map (fleet_byte m pid) effective in
+      let all_cut = List.for_all (fun x -> x = 0xCC) got in
+      let all_orig = got = originals in
+      if not (all_cut || all_orig) then
+        fail "%s: %s: pid %d is half-patched" site what pid;
+      if List.mem pid cut_pids && not all_cut then
+        fail "%s: %s: pid %d should be cut" site what pid;
+      if (not (List.mem pid cut_pids)) && not all_orig then
+        fail "%s: %s: pid %d should be original" site what pid)
+    pids
+
+let assert_fleet_serving ~site ~what fleet =
+  match Fleet.request fleet lget with
+  | `Reply (_, resp) ->
+      let s = status resp in
+      if s <> "200" then fail "%s: %s: GET answered %s, not 200" site what s
+  | `Refused -> fail "%s: %s: fleet refused a GET" site what
+
+let fleet_rollout_config =
+  Rollout.
+    {
+      r_waves = 2;
+      r_sup =
+        { Supervisor.default_config with Supervisor.canary_windows = 1 };
+    }
+
+(* Controller dies at the start of wave 2 of a rolling rollout: wave 1's
+   cut committed and must stay; recovery sees only closed waves in the
+   manifest and unwinds nothing. *)
+let fleet_wave site =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:4 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  let drive () = ignore (Fleet.request fleet lget) in
+  Fault.arm ~kill:true site (Fault.Every_nth 2);
+  (match Fleet.rollout fleet ~config:fleet_rollout_config ~drive () with
+  | (_ : Rollout.outcome * Rollout.wave_report list) ->
+      fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  if r.Fleet.fr_unwound <> [] then
+    fail "%s: recovery unwound a closed wave" site;
+  let wave1 =
+    match Rollout.plan ~pids ~waves:2 with w :: _ -> w | [] -> []
+  in
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:wave1;
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
+(* Controller dies as the drift monitor begins a fleet-wide re-enable:
+   no worker was reverted yet, so the committed cut stays fleet-wide. *)
+let fleet_reenable site =
+  let ctxs, m, pids, fleet = fleet_boot ~traced:true ~n:4 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  let drive () = ignore (Fleet.request fleet lget) in
+  (match Fleet.rollout fleet ~config:fleet_rollout_config ~drive () with
+  | Rollout.Completed _, _ -> ()
+  | o, _ ->
+      fail "%s: rollout failed: %s" site
+        (Format.asprintf "%a" Rollout.pp_outcome o));
+  Fleet.start_drift fleet ~collector:(Workload.collector (List.hd ctxs)) ();
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Drift.reenable_fleet (Fleet.drift_monitor fleet) ~traps:99 with
+  | (_ : Drift.action) -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  if r.Fleet.fr_unwound <> [] then
+    fail "%s: recovery unwound a completed rollout" site;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:pids;
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
+(* Controller dies as the drift monitor begins a re-cut: no worker was
+   cut yet, so the fleet stays enabled and recovery finds it quiescent. *)
+let fleet_recut site =
+  let ctxs, m, pids, fleet = fleet_boot ~traced:true ~n:2 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  Fleet.start_drift fleet ~collector:(Workload.collector (List.hd ctxs)) ();
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Drift.recut_fleet (Fleet.drift_monitor fleet) with
+  | (_ : Drift.action option) -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  if r.Fleet.fr_unwound <> [] then
+    fail "%s: recovery unwound an uncut fleet" site;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:[];
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
+(* Controller dies inside the balancer's dispatch: no transaction was
+   open anywhere, recovery must invent no work. *)
+let balancer_dispatch site =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:2 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Fleet.request fleet lget with
+  | (_ : [ `Reply of int * string | `Refused ]) ->
+      fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  List.iter
+    (fun (pid, a) ->
+      if a <> `Nothing then
+        fail "%s: recovery invented work for quiescent pid %d" site pid)
+    r.Fleet.fr_workers;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:[];
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
 (* every registered site maps to exactly one crash scenario; a new site
    without a mapping fails the matrix rather than silently shrinking it *)
 let scenario_of_site = function
@@ -280,6 +434,10 @@ let scenario_of_site = function
   | "crit.encode" as s -> crit s
   | "crit.decode" as s -> crit s
   | "recover.replay" as s -> recover_crash s
+  | "fleet.wave" as s -> fleet_wave s
+  | "fleet.reenable" as s -> fleet_reenable s
+  | "fleet.recut" as s -> fleet_recut s
+  | "balancer.dispatch" as s -> balancer_dispatch s
   | s -> fail "site %s has no crash scenario — extend crash_matrix.ml" s
 
 let () =

@@ -86,6 +86,56 @@ let spawn ?(seed = 42) ?(traced = false) (app : app) : ctx =
   let col = if traced then Some (Collector.attach m ~pid:p.Proc.pid) else None in
   { app; m; pid = p.Proc.pid; col }
 
+let contains ~(sub : string) (s : string) =
+  let nb = String.length sub and ns = String.length s in
+  let rec go i = i + nb <= ns && (String.sub s i nb = sub || go (i + 1)) in
+  go 0
+
+(** Spawn [n] independent workers of [app] side by side on {e one}
+    machine — the fleet topology. Every worker is its own process tree
+    listening on the app's port; the kernel round-robins connections
+    over them ({!Net} fan-out). Returns one ctx per worker, all sharing
+    the machine (and, when [traced], one merged collector). *)
+let spawn_fleet ?(seed = 42) ?(traced = false) ~n (app : app) : ctx list =
+  if n < 1 then invalid_arg "Workload.spawn_fleet: n must be >= 1";
+  let m = Machine.create ~seed () in
+  let libc = Lazy.force libc in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  app.a_install m ~libc;
+  let procs = List.init n (fun _ -> Machine.spawn m ~exe_path:app.a_name ()) in
+  let col =
+    match (traced, procs) with
+    | false, _ | _, [] -> None
+    | true, p0 :: rest ->
+        let col = Collector.attach m ~pid:p0.Proc.pid in
+        List.iter (fun (p : Proc.t) -> Collector.add_root col ~pid:p.Proc.pid) rest;
+        Some col
+  in
+  List.map (fun (p : Proc.t) -> { app; m; pid = p.Proc.pid; col }) procs
+
+(** Run until {e every} worker printed its banner on its own console —
+    the merged-console check of {!wait_ready} would falsely pass once
+    the first worker boots. *)
+let wait_fleet_ready ?(max_cycles = 60_000_000) (fleet : ctx list) : unit =
+  let m = match fleet with c :: _ -> c.m | [] -> invalid_arg "empty fleet" in
+  let ready (c : ctx) =
+    contains ~sub:c.app.a_banner (Proc.peek_stdout (Machine.proc_exn m c.pid))
+  in
+  match
+    Machine.run_until m ~max_cycles ~pred:(fun () -> List.for_all ready fleet)
+  with
+  | `Pred -> ignore (Machine.run m ~max_cycles:200_000)
+  | `Idle | `Dead | `Budget ->
+      let stragglers =
+        List.filter_map
+          (fun c -> if ready c then None else Some (string_of_int c.pid))
+          fleet
+      in
+      raise
+        (Workload_error
+           (Printf.sprintf "fleet workers [%s] never printed their banner"
+              (String.concat ";" stragglers)))
+
 (** Run until the init banner appears (and, for servers, until the tree
     quiesces into accept). *)
 let wait_ready ?(max_cycles = 30_000_000) (c : ctx) : unit =

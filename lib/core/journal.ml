@@ -272,3 +272,137 @@ let summarize (records : record list) : summary =
     every respawn matched. (An absent journal is trivially quiescent.) *)
 let quiescent (s : summary) : bool =
   s.s_respawns = [] && (match s.s_tx with None -> true | Some t -> t.tx_closed)
+
+(** The fleet manifest: a second intent log, one per {e fleet} rather
+    than per tree, recording rollout progress across workers so a crash
+    mid-rollout can be replayed back to a uniform fleet (per-worker cut
+    state itself is covered by each worker's own journal; the manifest
+    records which workers a wave {e intended} to cut). Same sealed-frame
+    format, longest-valid-prefix reads. *)
+module Manifest = struct
+  type entry =
+    | Wave_begin of { wave : int; pids : int list }
+        (** wave [wave] is about to start cutting [pids] *)
+    | Worker_cut of { wave : int; pid : int }
+        (** [pid]'s cut transaction committed as part of [wave] *)
+    | Wave_done of { wave : int }  (** every pid of the wave is cut *)
+    | Rollout_halted of { wave : int }
+        (** the rollout stopped at [wave] (canary rejected / SLO breach)
+            and the wave's partial cuts were reverted *)
+    | Rollout_done of { waves : int }  (** all [waves] waves committed *)
+
+  type t = { fs : Vfs.t; path : string }
+
+  let attach (fs : Vfs.t) ~(dir : string) : t = { fs; path = dir ^ "/manifest" }
+
+  let encode_entry (e : entry) : string =
+    let open Bytesx.W in
+    let b = create ~size:32 () in
+    (match e with
+    | Wave_begin { wave; pids } ->
+        u8 b 1;
+        u32 b wave;
+        u32 b (List.length pids);
+        List.iter (fun pid -> u32 b pid) pids
+    | Worker_cut { wave; pid } ->
+        u8 b 2;
+        u32 b wave;
+        u32 b pid
+    | Wave_done { wave } ->
+        u8 b 3;
+        u32 b wave
+    | Rollout_halted { wave } ->
+        u8 b 4;
+        u32 b wave
+    | Rollout_done { waves } ->
+        u8 b 5;
+        u32 b waves);
+    contents b
+
+  let decode_entry (payload : string) : entry =
+    let open Bytesx.R in
+    let r = of_string payload in
+    match u8 r with
+    | 1 ->
+        let wave = u32 r in
+        let n = u32 r in
+        Wave_begin { wave; pids = List.init n (fun _ -> u32 r) }
+    | 2 ->
+        let wave = u32 r in
+        Worker_cut { wave; pid = u32 r }
+    | 3 -> Wave_done { wave = u32 r }
+    | 4 -> Rollout_halted { wave = u32 r }
+    | 5 -> Rollout_done { waves = u32 r }
+    | tag -> failwith (Printf.sprintf "bad manifest entry tag %d" tag)
+
+  let pp_entry fmt (e : entry) =
+    match e with
+    | Wave_begin { wave; pids } ->
+        Format.fprintf fmt "wave-begin wave=%d pids=[%s]" wave
+          (String.concat ";" (List.map string_of_int pids))
+    | Worker_cut { wave; pid } ->
+        Format.fprintf fmt "worker-cut wave=%d pid=%d" wave pid
+    | Wave_done { wave } -> Format.fprintf fmt "wave-done wave=%d" wave
+    | Rollout_halted { wave } ->
+        Format.fprintf fmt "rollout-halted wave=%d" wave
+    | Rollout_done { waves } ->
+        Format.fprintf fmt "rollout-done waves=%d" waves
+
+  let append (t : t) (e : entry) : unit =
+    let prev = Option.value ~default:"" (Vfs.find t.fs t.path) in
+    Vfs.add t.fs t.path (prev ^ Validate.seal (encode_entry e));
+    Obs.event ~kind:"manifest" (Format.asprintf "%a" pp_entry e)
+
+  (** Longest valid prefix + torn flag; never raises. *)
+  let read (t : t) : entry list * bool =
+    match Vfs.find t.fs t.path with
+    | None -> ([], false)
+    | Some blob ->
+        let payloads, torn = Validate.unseal_frames blob in
+        let rec decode acc = function
+          | [] -> (List.rev acc, torn)
+          | p :: rest -> (
+              match decode_entry p with
+              | e -> decode (e :: acc) rest
+              | exception _ -> (List.rev acc, true))
+        in
+        decode [] payloads
+
+  let clear (t : t) : unit =
+    if Vfs.exists t.fs t.path then Vfs.remove t.fs t.path
+
+  type summary = {
+    m_completed : int list;  (** waves with [Wave_done], oldest first *)
+    m_open : (int * int list * int list) option;
+        (** a [Wave_begin] without [Wave_done]/[Rollout_halted]:
+            (wave, planned pids, pids with a [Worker_cut]) *)
+    m_halted : int option;  (** rollout halted at this wave *)
+    m_done : bool;  (** [Rollout_done] logged *)
+  }
+
+  let summarize (entries : entry list) : summary =
+    let completed = ref [] in
+    let open_ = ref None in
+    let halted = ref None in
+    let done_ = ref false in
+    List.iter
+      (fun e ->
+        match e with
+        | Wave_begin { wave; pids } -> open_ := Some (wave, pids, [])
+        | Worker_cut { wave; pid } -> (
+            match !open_ with
+            | Some (w, planned, cut) when w = wave ->
+                open_ := Some (w, planned, cut @ [ pid ])
+            | _ -> ())
+        | Wave_done { wave } ->
+            completed := !completed @ [ wave ];
+            (match !open_ with
+            | Some (w, _, _) when w = wave -> open_ := None
+            | _ -> ())
+        | Rollout_halted { wave } ->
+            halted := Some wave;
+            open_ := None
+        | Rollout_done _ -> done_ := true)
+      entries;
+    { m_completed = !completed; m_open = !open_; m_halted = !halted; m_done = !done_ }
+end

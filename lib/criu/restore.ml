@@ -114,16 +114,21 @@ let restore (m : Machine.t) (img : Images.t) : Proc.t =
           Fault.site "restore.tcp_repair";
           ignore (Net.repair_conn m.Machine.net s))
         img.Images.tcp);
-  (* re-create listeners for listening fds *)
+  p.Proc.state <- Proc.Runnable;
+  Machine.install m p;
+  (* re-create listeners for listening fds — after install, so the owner
+     (tree root) resolves through the machine's process table even when
+     the restored pid is the tree root itself *)
   List.iter
     (fun (_, k) ->
       match k with
       | Images.Fi_listener port when port >= 0 ->
-          ignore (Net.listen m.Machine.net port)
+          ignore
+            (Net.listen
+               ~owner:(Machine.tree_root m p.Proc.pid)
+               m.Machine.net port)
       | _ -> ())
     img.Images.files.Images.f_fds;
-  p.Proc.state <- Proc.Runnable;
-  Machine.install m p;
   p
 
 (** Load and verify a sealed image from the machine tmpfs. Raises

@@ -1,0 +1,80 @@
+(** The virtual round-robin load balancer (DESIGN.md §6a).
+
+    The actual fan-out lives in the kernel ({!Net.route} round-robins
+    new connections over a port's accepting listeners); the balancer is
+    the control plane on top: drain/undrain a worker by flipping its
+    listener's [accepting] flag, drive one closed-loop request through
+    whichever worker the kernel picks, and account every dispatch in the
+    metric registry ([fleet.dispatches{pid}], [fleet.refused]).
+
+    Draining is what keeps a rolling rollout's latency flat: a worker
+    being checkpoint-rewritten is frozen, so routing around it beats
+    queueing requests on a backlog nobody accepts from. *)
+
+type t = {
+  machine : Machine.t;
+  port : int;
+  workers : int list;  (** worker tree-root pids, registration order *)
+}
+
+exception Balancer_error of string
+
+let create (machine : Machine.t) ~(port : int) ~(workers : int list) : t =
+  { machine; port; workers }
+
+let workers t = t.workers
+let port t = t.port
+
+let listener t ~pid =
+  match Net.find_listener_owned t.machine.Machine.net ~port:t.port ~owner:pid with
+  | Some l -> l
+  | None ->
+      raise
+        (Balancer_error
+           (Printf.sprintf "worker %d has no listener on port %d" pid t.port))
+
+(** Stop routing new connections to [pid]; in-flight ones are untouched. *)
+let drain t ~pid = (listener t ~pid).Net.accepting <- false
+
+let undrain t ~pid = (listener t ~pid).Net.accepting <- true
+
+(** Pids currently taken out of the rotation. *)
+let draining t =
+  List.filter (fun pid -> not (listener t ~pid).Net.accepting) t.workers
+
+let accepting t =
+  List.filter (fun pid -> (listener t ~pid).Net.accepting) t.workers
+
+let dispatches ~pid =
+  Obs.counter_value
+    (Obs.counter ~labels:[ ("pid", string_of_int pid) ] "fleet.dispatches")
+
+let refused () = Obs.counter_value (Obs.counter "fleet.refused")
+
+(** One closed-loop request through the kernel's round-robin: connect,
+    send, run the machine until a reply lands (or the serving worker
+    dies), return the reply together with the worker that served it.
+    [`Refused] when no worker accepts — every listener drained or
+    frozen mid-wave. Fault site [balancer.dispatch]. *)
+let request ?(max_cycles = 2_000_000) t (text : string) :
+    [ `Reply of int * string | `Refused ] =
+  Fault.site "balancer.dispatch";
+  match Net.route t.machine.Machine.net t.port with
+  | exception Net.Refused _ ->
+      Obs.incr (Obs.counter "fleet.refused");
+      `Refused
+  | conn, l ->
+      let pid = l.Net.l_owner in
+      Obs.incr
+        (Obs.counter ~labels:[ ("pid", string_of_int pid) ] "fleet.dispatches");
+      Net.client_send conn text;
+      let dead () =
+        match Machine.proc t.machine pid with
+        | Some p -> not (Proc.is_live p)
+        | None -> true
+      in
+      let (_ : _) =
+        Machine.run_until t.machine ~max_cycles ~pred:(fun () ->
+            Net.client_pending conn > 0 || dead ())
+      in
+      `Reply (pid, Net.client_recv conn)

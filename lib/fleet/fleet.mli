@@ -1,0 +1,91 @@
+(** The adaptive fleet orchestrator (DESIGN.md §6a).
+
+    Runs N single-process guest workers behind the kernel's round-robin
+    listener fan-out and keeps the whole fleet customized continuously:
+
+    - {!rollout} applies one cut wave-by-wave, with a
+      {!Supervisor.guarded_cut} canary gating every wave and the fleet
+      manifest journaling each step;
+    - {!start_drift}/{!tick} run the coverage-drift closed loop: live
+      windowed drcov sampling, automatic fleet-wide re-enable on a trap
+      storm, automatic re-cut after a cold-coverage hysteresis;
+    - {!recover} replays a controller crash mid-rollout back to a
+      uniform fleet — completed waves cut, the interrupted wave
+      original.
+
+    Build the workers with [Workload.spawn_fleet], which boots N
+    processes of one app on a single machine. *)
+
+type t
+
+exception Fleet_error of string
+
+val manifest_dir : string
+(** Machine-fs directory holding the fleet manifest ([/tmpfs/fleet]). *)
+
+val create :
+  Machine.t ->
+  port:int ->
+  pids:int list ->
+  blocks:Covgraph.block list ->
+  policy:Dynacut.policy ->
+  t
+(** Assemble a fleet over already-booted workers. Every pid must be the
+    root of its own process tree and own a listener on [port]; each gets
+    its own {!Dynacut.session} (and crash journal). Raises
+    {!Fleet_error} (or {!Balancer.Balancer_error}) otherwise. *)
+
+val workers : t -> Rollout.worker list
+val worker : t -> pid:int -> Rollout.worker
+val balancer : t -> Balancer.t
+val manifest : t -> Journal.Manifest.t
+
+val request :
+  ?max_cycles:int -> t -> string -> [ `Reply of int * string | `Refused ]
+(** One closed-loop request through the balancer: the reply plus the pid
+    that served it, or [`Refused] when no worker accepts. *)
+
+val rollout :
+  ?config:Rollout.config ->
+  t ->
+  drive:(unit -> unit) ->
+  unit ->
+  Rollout.outcome * Rollout.wave_report list
+(** Rolling rollout of the fleet's cut; see {!Rollout.run}. [drive]
+    advances machine + traffic for the canary observation windows. *)
+
+val start_drift : ?config:Drift.config -> t -> collector:Collector.t -> unit -> unit
+(** Start the drift monitor. [collector] must trace every worker
+    ([Workload.spawn_fleet ~traced:true] arranges that). *)
+
+val tick : t -> Drift.action option
+(** One control-loop step (drift sampling + decisions); call between
+    traffic slices. [None] before {!start_drift}. *)
+
+val drift_monitor : t -> Drift.t
+(** Raises {!Fleet_error} before {!start_drift}. *)
+
+val refresh_gauges : t -> unit
+(** Refresh the [fleet.workers{state=…}] gauge family. *)
+
+(** {2 Fleet-wide crash recovery} *)
+
+type recovery = {
+  fr_workers : (int * Dynacut.recovery_action) list;
+      (** per-worker [Dynacut.recover] results, in pid order *)
+  fr_unwound : int list;
+      (** open-wave members whose committed cut was reverted back to
+          pristine so the halted wave is uniform *)
+  fr_wave : int;  (** the wave the crash interrupted; 0 when none *)
+  fr_torn : bool;  (** the manifest's tail was torn *)
+}
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
+val recover : Machine.t -> pids:int list -> recovery
+(** Recover a fleet after a controller death: per-worker journal replay
+    first (per-pid "applied XOR unchanged"), then the manifest — a wave
+    that began but never finished is unwound (its committed members
+    reverted from pristine images) and recorded as halted, so the fleet
+    converges to completed-waves-cut / interrupted-wave-original and a
+    second pass is a no-op. *)

@@ -78,6 +78,17 @@ let live_procs t =
 let all_procs t =
   List.filter_map (fun pid -> proc t pid) (List.rev t.spawn_order)
 
+(** Root of [pid]'s process tree: walk the parent chain while the parent
+    is still a known process. Identifies which worker a listener belongs
+    to when several trees share a port. *)
+let rec tree_root t pid =
+  match proc t pid with
+  | None -> pid
+  | Some p ->
+      if p.Proc.parent <> 0 && Hashtbl.mem t.procs p.Proc.parent then
+        tree_root t p.Proc.parent
+      else pid
+
 (* ---------- process creation ---------- *)
 
 exception Exec_error of string
@@ -350,13 +361,18 @@ let do_syscall t (p : Proc.t) : sys_outcome =
     else if nr = sys_listen then (
       match fd_kind p a1 with
       | Some (Proc.Fd_listener port) when port >= 0 ->
-          let (_ : Net.listener) = Net.listen t.net port in
+          let (_ : Net.listener) =
+            Net.listen ~owner:(tree_root t p.Proc.pid) t.net port
+          in
           ret_i 0
       | _ -> ret_i ebadf)
     else if nr = sys_accept then (
       match fd_kind p a1 with
       | Some (Proc.Fd_listener port) -> (
-          match Net.find_listener t.net port with
+          match
+            Net.find_listener_owned t.net ~port
+              ~owner:(tree_root t p.Proc.pid)
+          with
           | None -> ret_i einval
           | Some l -> (
               match Net.server_accept l with
@@ -642,7 +658,10 @@ let wake_check t (p : Proc.t) =
   | Proc.Blocked (Proc.On_accept fd) -> (
       match Hashtbl.find_opt p.Proc.fds fd with
       | Some (Proc.Fd_listener port) -> (
-          match Net.find_listener t.net port with
+          match
+            Net.find_listener_owned t.net ~port
+              ~owner:(tree_root t p.Proc.pid)
+          with
           | Some l when l.Net.backlog <> [] -> p.Proc.state <- Proc.Runnable
           | _ -> ())
       | _ -> p.Proc.state <- Proc.Runnable (* fd vanished: let syscall fail *))

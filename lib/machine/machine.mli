@@ -46,6 +46,10 @@ val proc_exn : t -> int -> Proc.t
 val live_procs : t -> Proc.t list
 val all_procs : t -> Proc.t list
 
+val tree_root : t -> int -> int
+(** Root pid of a process tree (walks the parent chain while the parent
+    is still a known process); listeners are owned per tree root. *)
+
 exception Exec_error of string
 
 val spawn : t -> exe_path:string -> ?comm:string -> unit -> Proc.t

@@ -5,7 +5,12 @@
     is what makes CRIU-style TCP repair possible: the checkpoint records
     the connection ids and queue contents, and restore re-attaches the
     process's fds to the still-existing kernel objects, so a client mid-
-    request survives a DynaCut rewrite (paper §3.3, Figure 8). *)
+    request survives a DynaCut rewrite (paper §3.3, Figure 8).
+
+    A port may carry several listeners (one per worker process tree, the
+    SO_REUSEPORT idiom): [connect] round-robins new connections over the
+    listeners that are currently [accepting], which is what the fleet
+    balancer drains and undrains during a rolling rollout. *)
 
 type conn = {
   conn_id : int;
@@ -20,54 +25,98 @@ type conn = {
 
 type listener = {
   l_port : int;
+  l_owner : int;  (** owning process tree root; -1 = unowned (legacy) *)
   mutable backlog : conn list;  (** pending, not yet accepted *)
   mutable accepting : bool;
 }
 
 type t = {
   mutable next_conn : int;
-  listeners : (int, listener) Hashtbl.t;  (** port -> listener *)
+  listeners : (int, listener list) Hashtbl.t;
+      (** port -> listeners, in registration order *)
+  rr : (int, int) Hashtbl.t;  (** port -> round-robin cursor *)
   conns : (int, conn) Hashtbl.t;
 }
 
-let create () = { next_conn = 1; listeners = Hashtbl.create 8; conns = Hashtbl.create 32 }
+let create () =
+  {
+    next_conn = 1;
+    listeners = Hashtbl.create 8;
+    rr = Hashtbl.create 8;
+    conns = Hashtbl.create 32;
+  }
 
-let listen t port =
-  match Hashtbl.find_opt t.listeners port with
+let listeners_on t port =
+  match Hashtbl.find_opt t.listeners port with Some ls -> ls | None -> []
+
+let listen ?(owner = -1) t port =
+  let ls = listeners_on t port in
+  match List.find_opt (fun l -> l.l_owner = owner) ls with
   | Some l -> l
   | None ->
-      let l = { l_port = port; backlog = []; accepting = true } in
-      Hashtbl.replace t.listeners port l;
+      let l = { l_port = port; l_owner = owner; backlog = []; accepting = true } in
+      Hashtbl.replace t.listeners port (ls @ [ l ]);
       l
 
-let find_listener t port = Hashtbl.find_opt t.listeners port
+let unlisten t (l : listener) =
+  let ls = List.filter (fun x -> x != l) (listeners_on t l.l_port) in
+  if ls = [] then Hashtbl.remove t.listeners l.l_port
+  else Hashtbl.replace t.listeners l.l_port ls
+
+let find_listener t port =
+  match listeners_on t port with [] -> None | l :: _ -> Some l
+
+(** The listener a given process tree owns on [port]. Falls back to a sole
+    listener regardless of owner, so pre-fleet single-app setups (and
+    images restored before ownership existed) keep resolving. *)
+let find_listener_owned t ~port ~owner =
+  match listeners_on t port with
+  | [] -> None
+  | [ l ] -> Some l
+  | ls -> List.find_opt (fun l -> l.l_owner = owner) ls
+
 let find_conn t id = Hashtbl.find_opt t.conns id
 
 (* ---------- host (driver/client) side ---------- *)
 
 exception Refused of int
 
-(** Host connects to a guest listener; returns the connection. *)
-let connect t port =
-  match Hashtbl.find_opt t.listeners port with
-  | None -> raise (Refused port)
-  | Some l ->
-      let c =
-        {
-          conn_id = t.next_conn;
-          conn_port = port;
-          c2s = Buffer.create 64;
-          s2c = Buffer.create 64;
-          c2s_consumed = 0;
-          s2c_consumed = 0;
-          client_closed = false;
-          server_closed = false;
-        }
-      in
-      t.next_conn <- t.next_conn + 1;
-      Hashtbl.replace t.conns c.conn_id c;
-      l.backlog <- l.backlog @ [ c ];
-      c
+(** Pick the next accepting listener on [port], round-robin over the
+    registration order. Deterministic: the cursor lives in the kernel and
+    only ever advances by dispatch. *)
+let pick_listener t port : listener =
+  let ls = listeners_on t port in
+  let accepting = List.filter (fun l -> l.accepting) ls in
+  match accepting with
+  | [] -> raise (Refused port)
+  | _ ->
+      let n = List.length accepting in
+      let cur = match Hashtbl.find_opt t.rr port with Some k -> k | None -> 0 in
+      Hashtbl.replace t.rr port (cur + 1);
+      List.nth accepting (cur mod n)
+
+(** Host connects to a guest listener; returns the connection together
+    with the listener it was dispatched to (for per-worker accounting). *)
+let route t port : conn * listener =
+  let l = pick_listener t port in
+  let c =
+    {
+      conn_id = t.next_conn;
+      conn_port = port;
+      c2s = Buffer.create 64;
+      s2c = Buffer.create 64;
+      c2s_consumed = 0;
+      s2c_consumed = 0;
+      client_closed = false;
+      server_closed = false;
+    }
+  in
+  t.next_conn <- t.next_conn + 1;
+  Hashtbl.replace t.conns c.conn_id c;
+  l.backlog <- l.backlog @ [ c ];
+  (c, l)
+
+let connect t port = fst (route t port)
 
 let client_send (c : conn) (s : string) = Buffer.add_string c.c2s s
 

@@ -2,7 +2,12 @@
     byte-queue connections. Connections live in the "kernel", which is
     what makes CRIU-style TCP repair possible: a restored process
     re-attaches to still-existing connection objects, so clients survive
-    a DynaCut rewrite (§3.3, Figure 8). *)
+    a DynaCut rewrite (§3.3, Figure 8).
+
+    A port may carry several listeners, one per worker process tree (the
+    SO_REUSEPORT idiom): {!connect} round-robins over the listeners whose
+    [accepting] flag is set, so a fleet balancer can drain a worker by
+    clearing the flag without touching the worker itself. *)
 
 type conn = {
   conn_id : int;
@@ -17,6 +22,7 @@ type conn = {
 
 type listener = {
   l_port : int;
+  l_owner : int;  (** owning process tree root; -1 = unowned (legacy) *)
   mutable backlog : conn list;
   mutable accepting : bool;
 }
@@ -25,10 +31,23 @@ type t
 
 val create : unit -> t
 
-val listen : t -> int -> listener
-(** Register (or fetch) the listener on a port. *)
+val listen : ?owner:int -> t -> int -> listener
+(** Register (or fetch) [owner]'s listener on a port. Distinct owners get
+    distinct listeners on the same port, in registration order. *)
+
+val unlisten : t -> listener -> unit
+(** Remove a listener (dead worker); pending backlog is dropped. *)
 
 val find_listener : t -> int -> listener option
+(** First-registered listener on the port (single-listener legacy view). *)
+
+val find_listener_owned : t -> port:int -> owner:int -> listener option
+(** The listener [owner]'s tree registered on [port]; falls back to a sole
+    listener regardless of owner so single-app setups keep resolving. *)
+
+val listeners_on : t -> int -> listener list
+(** All listeners on a port, in registration order. *)
+
 val find_conn : t -> int -> conn option
 
 (** {2 Host (driver/client) side} *)
@@ -36,7 +55,12 @@ val find_conn : t -> int -> conn option
 exception Refused of int
 
 val connect : t -> int -> conn
-(** Connect to a guest listener; raises {!Refused} if nothing listens. *)
+(** Connect to a guest listener; round-robins over accepting listeners.
+    Raises {!Refused} if nothing listens or no listener is accepting. *)
+
+val route : t -> int -> conn * listener
+(** Like {!connect} but also returns the listener the connection was
+    dispatched to, for per-worker accounting. *)
 
 val client_send : conn -> string -> unit
 val client_recv : conn -> string

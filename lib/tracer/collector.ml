@@ -18,6 +18,14 @@ type t = {
   mutable seq : int;
   mutable dumps : Drcov.log list;  (** nudge outputs, oldest first *)
   prev_hook : Machine.trace_hook option;
+  (* windowed live sampling (fleet drift monitor) — rides alongside the
+     cumulative map without disturbing nudge/dump semantics *)
+  mutable win_period : int64 option;  (** None = windowing off *)
+  mutable win_keep : int;  (** retained closed windows *)
+  mutable win_last : int64;  (** virtual clock at last rotation *)
+  win_seen : (int * int * int, int) Hashtbl.t;  (** current window *)
+  mutable win_seq : int;
+  mutable win_logs : Drcov.log list;  (** closed windows, oldest first *)
 }
 
 let module_of_vma_name name =
@@ -78,6 +86,10 @@ let on_block t (p : Proc.t) (start : int64) (size : int) =
         if not (Hashtbl.mem t.seen key) then begin
           Hashtbl.replace t.seen key t.seq;
           t.seq <- t.seq + 1
+        end;
+        if t.win_period <> None && not (Hashtbl.mem t.win_seen key) then begin
+          Hashtbl.replace t.win_seen key t.win_seq;
+          t.win_seq <- t.win_seq + 1
         end
 
 (** Start tracing [pid] (and its future children) on [machine]. *)
@@ -92,6 +104,12 @@ let attach (machine : Machine.t) ~pid : t =
       seq = 0;
       dumps = [];
       prev_hook = machine.Machine.trace;
+      win_period = None;
+      win_keep = 0;
+      win_last = 0L;
+      win_seen = Hashtbl.create 256;
+      win_seq = 0;
+      win_logs = [];
     }
   in
   Hashtbl.replace t.roots pid ();
@@ -102,7 +120,18 @@ let attach (machine : Machine.t) ~pid : t =
         on_block t p start size);
   t
 
-let current_log t : Drcov.log =
+(** Register an additional root to trace — how a fleet collector follows
+    several sibling workers with one merged module map. *)
+let add_root t ~pid =
+  let p = Machine.proc_exn t.machine pid in
+  Hashtbl.replace t.roots pid ();
+  List.iter
+    (fun (n, lo, hi) ->
+      if not (List.exists (fun (n', _, _) -> n' = n) t.module_map) then
+        t.module_map <- t.module_map @ [ (n, lo, hi) ])
+    (modules_of_proc p)
+
+let log_of t (seen : (int * int * int, int) Hashtbl.t) : Drcov.log =
   let modules =
     List.mapi
       (fun i (name, base, end_) ->
@@ -113,10 +142,12 @@ let current_log t : Drcov.log =
     Hashtbl.fold
       (fun (m, off, size) seq acc ->
         { Drcov.bb_mod = m; bb_off = off; bb_size = size; bb_seq = seq } :: acc)
-      t.seen []
+      seen []
     |> List.sort (fun a b -> compare a.Drcov.bb_seq b.Drcov.bb_seq)
   in
   { Drcov.modules; bbs }
+
+let current_log t : Drcov.log = log_of t t.seen
 
 (** The nudge (§3.1): dump the coverage collected so far and clear the
     code cache. The dumped log is the coverage of the phase that just
@@ -133,3 +164,62 @@ let detach t : Drcov.log =
   current_log t
 
 let dumps t = t.dumps
+
+(* ---------- windowed live sampling (fleet drift monitor) ---------- *)
+
+(** Begin sampling in fixed virtual-clock windows of [period] cycles,
+    retaining the last [keep] closed windows. Restarting discards any
+    previous window state. *)
+let start_window t ~period ~keep =
+  t.win_period <- Some period;
+  t.win_keep <- max 1 keep;
+  t.win_last <- t.machine.Machine.clock;
+  Hashtbl.reset t.win_seen;
+  t.win_seq <- 0;
+  t.win_logs <- []
+
+(** Rotate the current window if at least one period elapsed on the
+    machine's virtual clock. Returns the closed window's log, or [None]
+    if the window is still open. Call after driving traffic. *)
+let window_tick t : Drcov.log option =
+  match t.win_period with
+  | None -> None
+  | Some period ->
+      if Int64.sub t.machine.Machine.clock t.win_last < period then None
+      else begin
+        let log = log_of t t.win_seen in
+        t.win_logs <- t.win_logs @ [ log ];
+        (let excess = List.length t.win_logs - t.win_keep in
+         if excess > 0 then t.win_logs <- List.filteri (fun i _ -> i >= excess) t.win_logs);
+        Hashtbl.reset t.win_seen;
+        t.win_seq <- 0;
+        t.win_last <- t.machine.Machine.clock;
+        Some log
+      end
+
+(** Retained closed windows, oldest first. *)
+let window_logs t = t.win_logs
+
+(** Union coverage over the retained windows plus the open partial one —
+    the drift monitor's "what does live traffic reach right now" view. *)
+let window_coverage t : Drcov.log =
+  let merged = Hashtbl.create 256 in
+  let add (log : Drcov.log) =
+    List.iter
+      (fun (bb : Drcov.bb) ->
+        let key = (bb.Drcov.bb_mod, bb.Drcov.bb_off, bb.Drcov.bb_size) in
+        if not (Hashtbl.mem merged key) then
+          Hashtbl.replace merged key (Hashtbl.length merged))
+      log.Drcov.bbs
+  in
+  List.iter add t.win_logs;
+  add (log_of t t.win_seen);
+  log_of t merged
+
+(** Stop windowed sampling and clear its state; cumulative coverage and
+    nudge dumps are unaffected. *)
+let stop_window t =
+  t.win_period <- None;
+  Hashtbl.reset t.win_seen;
+  t.win_seq <- 0;
+  t.win_logs <- []

@@ -23,3 +23,29 @@ val detach : t -> Drcov.log
 
 val dumps : t -> Drcov.log list
 (** All nudge outputs, oldest first. *)
+
+val add_root : t -> pid:int -> unit
+(** Also trace [pid] (a sibling worker); its modules merge into the
+    collector's map so fleet-wide coverage shares one block namespace. *)
+
+(** {2 Windowed live sampling}
+
+    A drift monitor needs "what does traffic reach {e right now}", not
+    cumulative coverage: these sample into fixed virtual-clock windows
+    alongside (and without disturbing) the cumulative map and nudges. *)
+
+val start_window : t -> period:int64 -> keep:int -> unit
+(** Sample in windows of [period] virtual cycles, retaining the last
+    [keep] closed windows. Restarting discards previous window state. *)
+
+val window_tick : t -> Drcov.log option
+(** Rotate the window if a period elapsed; returns the closed window. *)
+
+val window_logs : t -> Drcov.log list
+(** Retained closed windows, oldest first. *)
+
+val window_coverage : t -> Drcov.log
+(** Union of the retained windows plus the open partial window. *)
+
+val stop_window : t -> unit
+(** Stop windowed sampling; cumulative coverage is unaffected. *)

@@ -157,6 +157,10 @@ let known_sites =
     ("journal.lock", "acquire or refresh the per-tree journal lock (fencing)");
     ("journal.append", "append a sealed record to the crash-consistency journal");
     ("recover.replay", "apply one recovery action (respawn, pristine restore, thaw)");
+    ("fleet.wave", "begin one wave of a rolling fleet rollout");
+    ("fleet.reenable", "drift monitor's automatic fleet-wide re-enable");
+    ("fleet.recut", "drift monitor's automatic re-cut of cold blocks");
+    ("balancer.dispatch", "route one client connection to a fleet worker");
   ]
 
 (** Run-wide per-site fired count as recorded in the metric registry.

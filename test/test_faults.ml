@@ -411,6 +411,10 @@ let test_known_sites_registry () =
         "journal.lock";
         "journal.append";
         "recover.replay";
+        "fleet.wave";
+        "fleet.reenable";
+        "fleet.recut";
+        "balancer.dispatch";
       ]
   in
   List.iter

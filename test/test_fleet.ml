@@ -1,0 +1,295 @@
+(** Fleet orchestration: wave planning, the fleet manifest, rolling
+    rollouts (complete + halt), the drift closed loop, and fleet-wide
+    crash recovery — all replay-exact from a fixed seed. *)
+
+let lapp = Workload.ltpd
+let lget = "GET /index.html HTTP/1.0\r\n\r\n"
+let lput = "PUT /up.txt HTTP/1.0\r\n\r\nbody"
+let lblocks = lazy (Common.web_feature_blocks lapp)
+
+let lpolicy =
+  { Dynacut.method_ = `First_byte; on_trap = `Redirect "ltpd_403" }
+
+let fleet_boot ?(traced = false) ~n () =
+  Obs.reset ();
+  Fault.reset ();
+  let ctxs = Workload.spawn_fleet ~traced ~n lapp in
+  Workload.wait_fleet_ready ctxs;
+  let m = (List.hd ctxs).Workload.m in
+  let pids = List.map (fun c -> c.Workload.pid) ctxs in
+  let fleet =
+    Fleet.create m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
+      ~policy:lpolicy
+  in
+  (ctxs, m, pids, fleet)
+
+let quick_sup = { Supervisor.default_config with Supervisor.canary_windows = 1 }
+
+let send fleet reqs =
+  List.iter (fun r -> ignore (Fleet.request fleet r)) reqs
+
+(* ---------- wave planning ---------- *)
+
+let test_plan () =
+  let pids = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let plan = Rollout.plan ~pids ~waves:3 in
+  Alcotest.(check (list (list int)))
+    "contiguous, earlier waves carry the extra"
+    [ [ 1; 2; 3 ]; [ 4; 5 ]; [ 6; 7 ] ]
+    plan;
+  Alcotest.(check (list (list int)))
+    "one wave" [ pids ]
+    (Rollout.plan ~pids ~waves:1);
+  Alcotest.(check (list (list int)))
+    "more waves than pids collapses to singletons"
+    [ [ 1 ]; [ 2 ] ]
+    (Rollout.plan ~pids:[ 1; 2 ] ~waves:5)
+
+(* ---------- manifest ---------- *)
+
+let test_manifest_roundtrip () =
+  let fs = Vfs.create () in
+  let man = Journal.Manifest.attach fs ~dir:"/tmpfs/fleet" in
+  let entries =
+    Journal.Manifest.
+      [
+        Wave_begin { wave = 1; pids = [ 100; 101 ] };
+        Worker_cut { wave = 1; pid = 100 };
+        Worker_cut { wave = 1; pid = 101 };
+        Wave_done { wave = 1 };
+        Wave_begin { wave = 2; pids = [ 102 ] };
+        Worker_cut { wave = 2; pid = 102 };
+      ]
+  in
+  List.iter (Journal.Manifest.append man) entries;
+  let got, torn = Journal.Manifest.read man in
+  Alcotest.(check bool) "not torn" false torn;
+  Alcotest.(check int) "all entries" (List.length entries) (List.length got);
+  Alcotest.(check bool) "roundtrip" true (got = entries);
+  let s = Journal.Manifest.summarize got in
+  Alcotest.(check (list int)) "wave 1 completed" [ 1 ]
+    s.Journal.Manifest.m_completed;
+  (match s.Journal.Manifest.m_open with
+  | Some (2, [ 102 ], [ 102 ]) -> ()
+  | _ -> Alcotest.fail "wave 2 should be open with pid 102 cut");
+  Alcotest.(check bool) "not done" false s.Journal.Manifest.m_done;
+  (* a torn tail yields the longest valid prefix, flagged *)
+  (match Vfs.find fs "/tmpfs/fleet/manifest" with
+  | Some raw ->
+      Vfs.add fs "/tmpfs/fleet/manifest"
+        (String.sub raw 0 (String.length raw - 3))
+  | None -> Alcotest.fail "manifest file missing");
+  let got', torn' = Journal.Manifest.read man in
+  Alcotest.(check bool) "torn tail detected" true torn';
+  Alcotest.(check int) "prefix survives"
+    (List.length entries - 1)
+    (List.length got');
+  Journal.Manifest.clear man;
+  let got'', torn'' = Journal.Manifest.read man in
+  Alcotest.(check bool) "clear" true (got'' = [] && not torn'')
+
+let test_manifest_halted_summary () =
+  let s =
+    Journal.Manifest.(
+      summarize
+        [
+          Wave_begin { wave = 1; pids = [ 9 ] };
+          Worker_cut { wave = 1; pid = 9 };
+          Wave_done { wave = 1 };
+          Wave_begin { wave = 2; pids = [ 10 ] };
+          Rollout_halted { wave = 2 };
+        ])
+  in
+  Alcotest.(check bool) "closed by halt" true
+    (s.Journal.Manifest.m_open = None);
+  Alcotest.(check (option int)) "halted wave" (Some 2)
+    s.Journal.Manifest.m_halted
+
+(* ---------- rolling rollout ---------- *)
+
+let test_rollout_completes () =
+  let _ctxs, _m, pids, fleet = fleet_boot ~n:3 () in
+  let drive () = send fleet [ lget ] in
+  let outcome, reports =
+    Fleet.rollout fleet
+      ~config:Rollout.{ r_waves = 3; r_sup = quick_sup }
+      ~drive ()
+  in
+  (match outcome with
+  | Rollout.Completed { waves } -> Alcotest.(check int) "3 waves" 3 waves
+  | o -> Alcotest.failf "rollout: %a" Rollout.pp_outcome o);
+  Alcotest.(check int) "a report per wave" 3 (List.length reports);
+  List.iter
+    (fun (r : Rollout.wave_report) ->
+      Alcotest.(check bool) "waves pause for a while" true
+        (r.Rollout.wr_pause_cycles > 0L))
+    reports;
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "every worker carries the cut" true
+        (Rollout.cut_live w))
+    (Fleet.workers fleet);
+  (* the manifest records the whole rollout as done *)
+  let entries, torn = Journal.Manifest.read (Fleet.manifest fleet) in
+  Alcotest.(check bool) "manifest intact" false torn;
+  let s = Journal.Manifest.summarize entries in
+  Alcotest.(check bool) "done" true s.Journal.Manifest.m_done;
+  Alcotest.(check (list int)) "waves closed" [ 1; 2; 3 ]
+    s.Journal.Manifest.m_completed;
+  (* the cut fleet refuses the feature and serves the rest *)
+  (match Fleet.request fleet lput with
+  | `Reply (_, resp) ->
+      Alcotest.(check bool) "PUT blocked" true
+        (String.length resp > 12 && String.sub resp 9 3 = "403")
+  | `Refused -> Alcotest.fail "fleet refused");
+  ignore pids
+
+let test_rollout_halts_on_trap_storm () =
+  let _ctxs, _m, pids, fleet = fleet_boot ~n:3 () in
+  (* wave 2's canary sees undesired traffic and must reject *)
+  let drive () =
+    let wave = int_of_float (Obs.gauge_value (Obs.gauge "fleet.wave")) in
+    if wave >= 2 then send fleet (List.init 12 (fun _ -> lput))
+    else send fleet [ lget ]
+  in
+  let outcome, _ =
+    Fleet.rollout fleet
+      ~config:Rollout.{ r_waves = 2; r_sup = quick_sup }
+      ~drive ()
+  in
+  (match outcome with
+  | Rollout.Halted { wave = 2; reason = "canary-rejected" } -> ()
+  | o -> Alcotest.failf "rollout: %a" Rollout.pp_outcome o);
+  (* wave 1 stays cut, the halted wave is back to original *)
+  let wave1 = List.hd (Rollout.plan ~pids ~waves:2) in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d cut=%b" w.Rollout.w_pid
+           (List.mem w.Rollout.w_pid wave1))
+        (List.mem w.Rollout.w_pid wave1)
+        (Rollout.cut_live w))
+    (Fleet.workers fleet);
+  let entries, _ = Journal.Manifest.read (Fleet.manifest fleet) in
+  let s = Journal.Manifest.summarize entries in
+  Alcotest.(check (option int)) "halt recorded" (Some 2)
+    s.Journal.Manifest.m_halted;
+  (* the fleet still serves wanted traffic *)
+  match Fleet.request fleet lget with
+  | `Reply (_, resp) ->
+      Alcotest.(check bool) "GET ok" true
+        (String.length resp > 12 && String.sub resp 9 3 = "200")
+  | `Refused -> Alcotest.fail "fleet refused"
+
+(* ---------- drift closed loop ---------- *)
+
+(* one full drift cycle; returns the actions in order for replay checks *)
+let drift_scenario () =
+  let ctxs, _m, _pids, fleet = fleet_boot ~traced:true ~n:2 () in
+  let drive () = send fleet [ lget ] in
+  (match Fleet.rollout fleet ~config:Rollout.{ r_waves = 1; r_sup = quick_sup } ~drive () with
+  | Rollout.Completed _, _ -> ()
+  | o, _ -> Alcotest.failf "rollout: %a" Rollout.pp_outcome o);
+  Fleet.start_drift fleet
+    ~config:
+      Drift.
+        {
+          default_config with
+          d_period = 50_000L;
+          d_trap_threshold = 2;
+          d_hysteresis = 2;
+        }
+    ~collector:(Workload.collector (List.hd ctxs))
+    ();
+  let actions = ref [] in
+  let spin batch rounds =
+    let fired = ref false in
+    for _ = 1 to rounds do
+      if not !fired then begin
+        send fleet batch;
+        match Fleet.tick fleet with
+        | Some a ->
+            actions := a :: !actions;
+            fired := true
+        | None -> ()
+      end
+    done
+  in
+  (* trap storm: both workers are cut, so the PUTs trap and no upload is
+     ever stored — re-enable must fire, and exactly once *)
+  spin (List.init 8 (fun _ -> lput)) 6;
+  (* back to wanted-only traffic: all-cold for the hysteresis -> re-cut *)
+  spin [ lget; lget; lget ] 8;
+  let states =
+    List.map (fun w -> (w.Rollout.w_pid, w.Rollout.w_state)) (Fleet.workers fleet)
+  in
+  (List.rev !actions, states, Obs.dump_json ())
+
+let test_drift_reenable_then_recut () =
+  let actions, states, _ = drift_scenario () in
+  (match actions with
+  | [ Drift.Reenabled 2; Drift.Recut 2 ] -> ()
+  | l ->
+      Alcotest.failf "actions: [%s]"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Drift.pp_action) l)));
+  List.iter
+    (fun (_, st) -> Alcotest.(check string) "final state" "recut" st)
+    states
+
+let test_drift_replay_exact () =
+  let a1, s1, d1 = drift_scenario () in
+  let a2, s2, d2 = drift_scenario () in
+  Alcotest.(check bool) "same actions" true (a1 = a2);
+  Alcotest.(check bool) "same worker states" true (s1 = s2);
+  Alcotest.(check string) "byte-identical dump" d1 d2
+
+(* ---------- fleet recovery ---------- *)
+
+let test_recover_unwinds_open_wave () =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:2 () in
+  let w1 = Fleet.worker fleet ~pid:(List.hd pids) in
+  (* simulate a controller crash mid-wave: the first member's cut has
+     committed (manifest intent + Worker_cut), the wave never closed *)
+  (match Dynacut.try_cut w1.Rollout.w_session ~blocks:(Lazy.force lblocks) ~policy:lpolicy () with
+  | { Dynacut.r_outcome = `Applied | `Degraded; _ } -> ()
+  | { Dynacut.r_outcome = `Rolled_back _; _ } -> Alcotest.fail "setup cut failed");
+  let man = Fleet.manifest fleet in
+  Journal.Manifest.append man
+    (Journal.Manifest.Wave_begin { wave = 1; pids });
+  Journal.Manifest.append man
+    (Journal.Manifest.Worker_cut { wave = 1; pid = List.hd pids });
+  let r = Fleet.recover m ~pids in
+  Alcotest.(check (list int)) "the committed member is unwound"
+    [ List.hd pids ] r.Fleet.fr_unwound;
+  Alcotest.(check int) "interrupted wave" 1 r.Fleet.fr_wave;
+  (* converged: the manifest now shows the wave halted, and a second
+     recovery pass is a no-op *)
+  let entries, _ = Journal.Manifest.read man in
+  let s = Journal.Manifest.summarize entries in
+  Alcotest.(check bool) "wave closed" true (s.Journal.Manifest.m_open = None);
+  let r2 = Fleet.recover m ~pids in
+  Alcotest.(check (list int)) "second pass no-op" [] r2.Fleet.fr_unwound;
+  (* the unwound worker serves again *)
+  match Fleet.request fleet lget with
+  | `Reply (_, resp) ->
+      Alcotest.(check bool) "GET ok" true
+        (String.length resp > 12 && String.sub resp 9 3 = "200")
+  | `Refused -> Alcotest.fail "fleet refused"
+
+let suite =
+  [
+    Alcotest.test_case "wave planning" `Quick test_plan;
+    Alcotest.test_case "manifest roundtrip + torn tail" `Quick
+      test_manifest_roundtrip;
+    Alcotest.test_case "manifest halted summary" `Quick
+      test_manifest_halted_summary;
+    Alcotest.test_case "rollout completes" `Quick test_rollout_completes;
+    Alcotest.test_case "rollout halts on trap storm" `Quick
+      test_rollout_halts_on_trap_storm;
+    Alcotest.test_case "drift reenable then recut" `Quick
+      test_drift_reenable_then_recut;
+    Alcotest.test_case "drift replay exact" `Quick test_drift_replay_exact;
+    Alcotest.test_case "recover unwinds open wave" `Quick
+      test_recover_unwinds_open_wave;
+  ]

@@ -295,6 +295,91 @@ let test_frozen_process_not_scheduled () =
   let (_ : _) = Machine.run m ~max_cycles:1_000 in
   Alcotest.(check bool) "runs after thaw" true (p.Proc.retired > before)
 
+(* ---------- multi-listener fan-out (SO_REUSEPORT idiom) ---------- *)
+
+let test_net_fanout_round_robin () =
+  let net = Net.create () in
+  let l1 = Net.listen ~owner:1 net 9400 in
+  let l2 = Net.listen ~owner:2 net 9400 in
+  let l3 = Net.listen ~owner:3 net 9400 in
+  (* six connections round-robin across the three accepting listeners *)
+  let owners =
+    List.init 6 (fun _ -> (snd (Net.route net 9400)).Net.l_owner)
+  in
+  Alcotest.(check (list int)) "rr order" [ 1; 2; 3; 1; 2; 3 ] owners;
+  Alcotest.(check int) "l1 backlog" 2 (List.length l1.Net.backlog);
+  Alcotest.(check int) "l2 backlog" 2 (List.length l2.Net.backlog);
+  Alcotest.(check int) "l3 backlog" 2 (List.length l3.Net.backlog)
+
+let test_net_drain_skips_and_refuses () =
+  let net = Net.create () in
+  let l1 = Net.listen ~owner:1 net 9401 in
+  let l2 = Net.listen ~owner:2 net 9401 in
+  (* drained listeners drop out of the rotation... *)
+  l1.Net.accepting <- false;
+  let owners =
+    List.init 3 (fun _ -> (snd (Net.route net 9401)).Net.l_owner)
+  in
+  Alcotest.(check (list int)) "only l2 serves" [ 2; 2; 2 ] owners;
+  (* ...and with every listener drained the connection is refused *)
+  l2.Net.accepting <- false;
+  (match Net.connect net 9401 with
+  | (_ : Net.conn) -> Alcotest.fail "expected Refused"
+  | exception Net.Refused p -> Alcotest.(check int) "port" 9401 p);
+  (* undrain brings the port back *)
+  l1.Net.accepting <- true;
+  Alcotest.(check int) "back to l1" 1 (snd (Net.route net 9401)).Net.l_owner
+
+let test_net_owner_keyed_lookup () =
+  let net = Net.create () in
+  let l1 = Net.listen ~owner:1 net 9402 in
+  let l2 = Net.listen ~owner:2 net 9402 in
+  (match Net.find_listener_owned net ~port:9402 ~owner:2 with
+  | Some l -> Alcotest.(check bool) "owner 2's listener" true (l == l2)
+  | None -> Alcotest.fail "owner 2 lost its listener");
+  Alcotest.(check bool) "unknown owner"
+    true
+    (Net.find_listener_owned net ~port:9402 ~owner:99 = None);
+  (* sole-listener fallback: a single-app port ignores ownership so
+     pre-fleet callers keep working *)
+  let sole = Net.listen ~owner:7 net 9403 in
+  (match Net.find_listener_owned net ~port:9403 ~owner:99 with
+  | Some l -> Alcotest.(check bool) "sole fallback" true (l == sole)
+  | None -> Alcotest.fail "sole-listener fallback broken");
+  ignore l1
+
+let test_net_guest_fleet_fanout () =
+  (* two guest echo servers bind the same port on one machine; the
+     kernel fans incoming connections out across both processes *)
+  let m = Machine.create () in
+  Vfs.add_self m.Machine.fs "libc.so" libc;
+  Vfs.add_self m.Machine.fs "echo" (Crt0.link_app ~libc Test_machine.echo_server);
+  let p1 = Machine.spawn m ~exe_path:"echo" () in
+  let p2 = Machine.spawn m ~exe_path:"echo" () in
+  let (_ : _) = Machine.run m ~max_cycles:2_000_000 in
+  let ls = Net.listeners_on m.Machine.net 8080 in
+  Alcotest.(check int) "two listeners on the port" 2 (List.length ls);
+  let serve text =
+    let c = Net.connect m.Machine.net 8080 in
+    Net.client_send c text;
+    let (_ : _) = Machine.run m ~max_cycles:1_000_000 in
+    Net.client_recv c
+  in
+  Alcotest.(check string) "echo 1" "one" (serve "one");
+  Alcotest.(check string) "echo 2" "two" (serve "two");
+  (* both processes served one request each *)
+  let retired p = (p : Proc.t).Proc.retired in
+  Alcotest.(check bool) "both ran" true
+    (retired p1 > 0L && retired p2 > 0L);
+  (* freeze one worker: its listener stays registered but the live one
+     keeps serving both slots of the rotation *)
+  Machine.freeze m ~pid:p2.Proc.pid;
+  (match Net.find_listener_owned m.Machine.net ~port:8080 ~owner:p2.Proc.pid with
+  | Some l -> l.Net.accepting <- false
+  | None -> Alcotest.fail "frozen worker lost its listener");
+  Alcotest.(check string) "echo 3" "three" (serve "three");
+  Alcotest.(check string) "echo 4" "four" (serve "four")
+
 let suite =
   [
     Alcotest.test_case "bad sigreturn magic" `Quick test_bad_sigreturn_magic_kills;
@@ -309,4 +394,8 @@ let suite =
     Alcotest.test_case "stack overflow double fault" `Quick test_stack_overflow_double_fault;
     Alcotest.test_case "scheduler fairness" `Quick test_scheduler_fairness;
     Alcotest.test_case "frozen process not scheduled" `Quick test_frozen_process_not_scheduled;
+    Alcotest.test_case "net fan-out round robin" `Quick test_net_fanout_round_robin;
+    Alcotest.test_case "net drain skips and refuses" `Quick test_net_drain_skips_and_refuses;
+    Alcotest.test_case "net owner-keyed lookup" `Quick test_net_owner_keyed_lookup;
+    Alcotest.test_case "net guest fleet fan-out" `Quick test_net_guest_fleet_fanout;
   ]

@@ -23,4 +23,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("apps-cold", Test_apps_cold.suite);
       ("machine-edges", Test_machine_edges.suite);
+      ("fleet", Test_fleet.suite);
     ]
