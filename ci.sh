@@ -22,6 +22,35 @@ dune exec bench/main.exe -- --quick
 echo "== bench --quick fleet =="
 dune exec bench/main.exe -- --quick fleet
 
+# Overload smoke (DESIGN.md §6b): capacity probe + a two-point offered-
+# load sweep with admission control on/off, written to
+# BENCH_overload.json. The harness itself asserts the no-shed curve
+# falls below the shed curve past saturation.
+echo "== bench --quick overload =="
+dune exec bench/main.exe -- --quick overload
+
+# Determinism guard (DESIGN.md §6b): the same saturating open-loop soak
+# twice from the same seed must produce byte-identical observability
+# dumps (and must actually shed + retry).
+echo "== overload soak determinism =="
+dune exec examples/overload_soak.exe
+
+# The static fault-site registry must match the Fault.site call sites
+# actually present in lib/ — a site added in code but missing from
+# Fault.known_sites would silently escape the crash matrix below.
+echo "== fault-site registry sync =="
+sites_in_code=$(grep -rhoE 'Fault\.site "[^"]+"' lib/ | sed 's/Fault.site "//; s/"$//' | sort -u)
+sites_listed=$(dune exec bin/dynacut_cli.exe -- fleet --list-fault-sites | awk '{print $1}' | sort -u)
+if [ "$sites_in_code" != "$sites_listed" ]; then
+  echo "FAIL: Fault.site calls in lib/ disagree with --list-fault-sites:"
+  echo "--- in code"
+  echo "$sites_in_code"
+  echo "--- listed"
+  echo "$sites_listed"
+  exit 1
+fi
+echo "   $(echo "$sites_listed" | wc -l) sites in sync"
+
 # Crash-recovery matrix (DESIGN.md §5d): kill the controller at every
 # registered fault site mid-cut, recover, and assert each pid is fully
 # cut XOR fully original. The matrix fails on any site left unexercised.

@@ -277,13 +277,13 @@ let lblocks = lazy (Common.web_feature_blocks lapp)
 let lpolicy =
   { Dynacut.method_ = `First_byte; on_trap = `Redirect "ltpd_403" }
 
-let fleet_boot ?(traced = false) ~n () =
+let fleet_boot ?balancer ?(traced = false) ~n () =
   let ctxs = Workload.spawn_fleet ~traced ~n lapp in
   Workload.wait_fleet_ready ctxs;
   let m = (List.hd ctxs).Workload.m in
   let pids = List.map (fun c -> c.Workload.pid) ctxs in
   let fleet =
-    Fleet.create m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
+    Fleet.create ?balancer m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
       ~policy:lpolicy
   in
   (ctxs, m, pids, fleet)
@@ -319,7 +319,7 @@ let assert_fleet_serving ~site ~what fleet =
   | `Reply (_, resp) ->
       let s = status resp in
       if s <> "200" then fail "%s: %s: GET answered %s, not 200" site what s
-  | `Refused -> fail "%s: %s: fleet refused a GET" site what
+  | `Refused | `Shed | `Timed_out _ -> fail "%s: %s: fleet refused a GET" site what
 
 let fleet_rollout_config =
   Rollout.
@@ -405,7 +405,7 @@ let balancer_dispatch site =
   let originals = List.map (fleet_byte m (List.hd pids)) effective in
   Fault.arm ~kill:true site Fault.One_shot;
   (match Fleet.request fleet lget with
-  | (_ : [ `Reply of int * string | `Refused ]) ->
+  | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]) ->
       fail "%s: controller survived its death" site
   | exception Fault.Controller_killed _ -> ());
   assert_fired site;
@@ -418,6 +418,64 @@ let balancer_dispatch site =
   assert_fleet_xor ~site ~what:"after recover" m pids effective originals
     ~cut_pids:[];
   assert_fleet_serving ~site ~what:"after recover" fleet
+
+(* Controller dies while health-scoring the workers (or while admitting
+   onto a bounded accept queue): same invariant as balancer_dispatch —
+   dispatch opens no transaction, so recovery must invent no work. *)
+let balancer_request site =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:2 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Fleet.request fleet lget with
+  | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]) ->
+      fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  List.iter
+    (fun (pid, a) ->
+      if a <> `Nothing then
+        fail "%s: recovery invented work for quiescent pid %d" site pid)
+    r.Fleet.fr_workers;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:[];
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
+(* Controller dies inside admission control's shed path: the watermark
+   is forced to zero so the very first dispatch sheds. Dying mid-shed
+   leaves nothing open; after recovery the fleet (rebuilt with sane
+   watermarks by fleet_boot's default config) serves again. *)
+let fleet_shed site =
+  let shed_now =
+    {
+      (Balancer.default_config ~workers:2) with
+      Balancer.b_shed_high = 0;
+      b_shed_low = -1;
+    }
+  in
+  let _ctxs, m, pids, fleet = fleet_boot ~balancer:shed_now ~n:2 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Fleet.request fleet lget with
+  | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]) ->
+      fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  List.iter
+    (fun (pid, a) ->
+      if a <> `Nothing then
+        fail "%s: recovery invented work for quiescent pid %d" site pid)
+    r.Fleet.fr_workers;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:[];
+  let fleet' =
+    Fleet.create m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
+      ~policy:lpolicy
+  in
+  assert_fleet_serving ~site ~what:"after recover" fleet'
 
 (* every registered site maps to exactly one crash scenario; a new site
    without a mapping fails the matrix rather than silently shrinking it *)
@@ -438,6 +496,9 @@ let scenario_of_site = function
   | "fleet.reenable" as s -> fleet_reenable s
   | "fleet.recut" as s -> fleet_recut s
   | "balancer.dispatch" as s -> balancer_dispatch s
+  | "balancer.health" as s -> balancer_request s
+  | "net.accept_queue" as s -> balancer_request s
+  | "fleet.shed" as s -> fleet_shed s
   | s -> fail "site %s has no crash scenario — extend crash_matrix.ml" s
 
 let () =

@@ -151,12 +151,12 @@ let run () : string =
   | `Reply (_, resp) ->
       let s = status resp in
       if s <> "403" then fail "PUT after recut answered %s, not 403" s
-  | `Refused -> fail "PUT after recut refused");
+  | `Refused | `Shed | `Timed_out _ -> fail "PUT after recut refused");
   (match Fleet.request fleet (Workload.http_get "/index.html") with
   | `Reply (_, resp) ->
       let s = status resp in
       if s <> "200" then fail "GET after recut answered %s, not 200" s
-  | `Refused -> fail "GET after recut refused");
+  | `Refused | `Shed | `Timed_out _ -> fail "GET after recut refused");
   Obs.dump_json ()
 
 let () =

@@ -125,3 +125,4 @@ let st_207 = "HTTP/1.0 207 Multi-Status\r\n"
 let st_403 = "HTTP/1.0 403 Forbidden\r\n"
 let st_404 = "HTTP/1.0 404 Not Found\r\n"
 let st_405 = "HTTP/1.0 405 Method Not Allowed\r\n"
+let st_503 = "HTTP/1.0 503 Service Unavailable\r\n"

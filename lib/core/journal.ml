@@ -290,6 +290,9 @@ module Manifest = struct
         (** the rollout stopped at [wave] (canary rejected / SLO breach)
             and the wave's partial cuts were reverted *)
     | Rollout_done of { waves : int }  (** all [waves] waves committed *)
+    | Checkpoint of { completed : int list; halted : int option; done_ : bool }
+        (** compaction record: the summary of everything before it, so
+            the append-only manifest can be rewritten as one entry *)
 
   type t = { fs : Vfs.t; path : string }
 
@@ -316,7 +319,14 @@ module Manifest = struct
         u32 b wave
     | Rollout_done { waves } ->
         u8 b 5;
-        u32 b waves);
+        u32 b waves
+    | Checkpoint { completed; halted; done_ } ->
+        u8 b 6;
+        u32 b (List.length completed);
+        List.iter (fun w -> u32 b w) completed;
+        u8 b (match halted with Some _ -> 1 | None -> 0);
+        u32 b (match halted with Some w -> w | None -> 0);
+        u8 b (if done_ then 1 else 0));
     contents b
 
   let decode_entry (payload : string) : entry =
@@ -333,6 +343,18 @@ module Manifest = struct
     | 3 -> Wave_done { wave = u32 r }
     | 4 -> Rollout_halted { wave = u32 r }
     | 5 -> Rollout_done { waves = u32 r }
+    | 6 ->
+        let n = u32 r in
+        let completed = List.init n (fun _ -> u32 r) in
+        let has_halted = u8 r in
+        let halted_wave = u32 r in
+        let done_ = u8 r = 1 in
+        Checkpoint
+          {
+            completed;
+            halted = (if has_halted = 1 then Some halted_wave else None);
+            done_;
+          }
     | tag -> failwith (Printf.sprintf "bad manifest entry tag %d" tag)
 
   let pp_entry fmt (e : entry) =
@@ -347,6 +369,11 @@ module Manifest = struct
         Format.fprintf fmt "rollout-halted wave=%d" wave
     | Rollout_done { waves } ->
         Format.fprintf fmt "rollout-done waves=%d" waves
+    | Checkpoint { completed; halted; done_ } ->
+        Format.fprintf fmt "checkpoint completed=[%s] halted=%s done=%b"
+          (String.concat ";" (List.map string_of_int completed))
+          (match halted with Some w -> string_of_int w | None -> "-")
+          done_
 
   let append (t : t) (e : entry) : unit =
     let prev = Option.value ~default:"" (Vfs.find t.fs t.path) in
@@ -402,7 +429,41 @@ module Manifest = struct
         | Rollout_halted { wave } ->
             halted := Some wave;
             open_ := None
-        | Rollout_done _ -> done_ := true)
+        | Rollout_done _ -> done_ := true
+        | Checkpoint { completed = c; halted = h; done_ = d } ->
+            (* a checkpoint replaces everything before it *)
+            completed := c;
+            halted := h;
+            done_ := d;
+            open_ := None)
       entries;
     { m_completed = !completed; m_open = !open_; m_halted = !halted; m_done = !done_ }
+
+  (** Rewrite the manifest as one {!Checkpoint} summarizing the longest
+      valid prefix — plus, when a wave is still open, the open wave's
+      [Wave_begin]/[Worker_cut] records verbatim so crash recovery can
+      still unwind it. Torn-tail tolerant by construction: compaction
+      reads with {!read}, so a torn suffix is simply dropped, and the
+      rewritten file is fully sealed again. *)
+  let compact (t : t) : unit =
+    let entries, torn = read t in
+    let s = summarize entries in
+    let tail =
+      match s.m_open with
+      | None -> []
+      | Some (wave, planned, cut) ->
+          Wave_begin { wave; pids = planned }
+          :: List.map (fun pid -> Worker_cut { wave; pid }) cut
+    in
+    let entries' =
+      Checkpoint
+        { completed = s.m_completed; halted = s.m_halted; done_ = s.m_done }
+      :: tail
+    in
+    Vfs.add t.fs t.path
+      (String.concat "" (List.map (fun e -> Validate.seal (encode_entry e)) entries'));
+    Obs.event ~kind:"manifest"
+      (Printf.sprintf "compacted %d entries -> %d%s" (List.length entries)
+         (List.length entries')
+         (if torn then " (torn tail dropped)" else ""))
 end

@@ -122,6 +122,8 @@ module Manifest : sig
     | Rollout_halted of { wave : int }
         (** rollout stopped at [wave]; its partial cuts were reverted *)
     | Rollout_done of { waves : int }  (** all [waves] waves committed *)
+    | Checkpoint of { completed : int list; halted : int option; done_ : bool }
+        (** compaction record: the summary of everything before it *)
 
   type t
 
@@ -132,6 +134,12 @@ module Manifest : sig
 
   val read : t -> entry list * bool
   (** Valid prefix + torn-tail flag; never raises. *)
+
+  val compact : t -> unit
+  (** Rewrite the manifest as one [Checkpoint] (summary-preserving),
+      re-appending an open wave's records verbatim so recovery can still
+      unwind it. A torn tail is dropped and the file is fully sealed
+      again. *)
 
   val clear : t -> unit
   val pp_entry : Format.formatter -> entry -> unit

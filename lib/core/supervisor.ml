@@ -134,9 +134,18 @@ let breaker_code = function
   | Half_open _ -> 2.
   | Abandoned -> 3.
 
+(* the per-pid series is the balancer's readback channel: a fleet
+   dispatcher reads breaker state per worker root without holding a
+   Supervisor handle (DESIGN.md §6b) *)
+let breaker_gauge ~root_pid =
+  Obs.gauge ~labels:[ ("pid", string_of_int root_pid) ] "supervisor.breaker"
+
 let set_breaker t b =
   t.breaker <- b;
-  Obs.set_gauge (Obs.gauge "supervisor.breaker") (breaker_code b)
+  Obs.set_gauge (Obs.gauge "supervisor.breaker") (breaker_code b);
+  Obs.set_gauge
+    (breaker_gauge ~root_pid:t.session.Dynacut.root_pid)
+    (breaker_code b)
 
 let event_log t = List.rev t.events
 

@@ -112,6 +112,13 @@ val tick : t -> unit
 val breaker_state : t -> breaker
 val trips : t -> int
 
+val breaker_gauge : root_pid:int -> Obs.gauge
+(** The per-worker [supervisor.breaker{pid}] gauge — breaker state
+    encoded 0/1/2/3 (Closed/Open/Half-open/Abandoned), mirrored on every
+    transition. The fleet balancer reads it to drain a breaker-open
+    worker and trickle probes to a half-open one, without holding a
+    supervisor handle. *)
+
 val cut_live : t -> bool
 (** True while the cut is applied (Closed or Half_open with journals). *)
 

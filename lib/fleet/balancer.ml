@@ -1,29 +1,142 @@
-(** The virtual round-robin load balancer (DESIGN.md §6a).
+(** The health-scored fleet dispatcher (DESIGN.md §6b).
 
-    The actual fan-out lives in the kernel ({!Net.route} round-robins
-    new connections over a port's accepting listeners); the balancer is
-    the control plane on top: drain/undrain a worker by flipping its
-    listener's [accepting] flag, drive one closed-loop request through
-    whichever worker the kernel picks, and account every dispatch in the
-    metric registry ([fleet.dispatches{pid}], [fleet.refused]).
+    PR 1-5's balancer was a control plane over the kernel's blind
+    round-robin ({!Net.route}); this one owns the dispatch decision.
+    Each request is routed to the {e least-loaded healthy} worker:
+    dead, frozen, drained, breaker-open and backlog-full workers are
+    skipped (so a worker being cut mid-wave receives zero new
+    dispatches before it is even frozen), a half-open worker gets at
+    most one trickle probe at a time, and fleet-level admission control
+    sheds requests outright once aggregate in-flight crosses a
+    watermark (with hysteresis, so shedding does not flap).
 
-    Draining is what keeps a rolling rollout's latency flat: a worker
-    being checkpoint-rewritten is frozen, so routing around it beats
-    queueing requests on a backlog nobody accepts from. *)
+    Every decision is recorded twice: in the metric registry
+    ([fleet.dispatches{pid}], [fleet.shed], [fleet.timeouts],
+    [fleet.refused], the [fleet.request_cycles] latency histogram,
+    [fleet.inflight] / [net.accept_queue_depth{owner,port}] gauges) and
+    in a bounded in-memory decision log that tests and the acceptance
+    criteria read back ("a frozen worker received zero dispatches").
+
+    Split API: {!dispatch}/{!poll} are non-blocking (the open-loop
+    generator in {!Loadgen} interleaves many in-flight requests), while
+    {!request} keeps the closed-loop connect-run-reply contract the
+    rollout driver and the CLI use. *)
+
+type config = {
+  b_ewma_alpha : float;  (** weight of the newest in-flight sample *)
+  b_backlog_max : int;  (** per-listener accept-queue bound *)
+  b_shed_high : int;
+      (** start shedding once aggregate in-flight reaches this *)
+  b_shed_low : int;  (** stop shedding at or below this (hysteresis) *)
+  b_decision_cap : int;  (** decision-log bound *)
+}
+
+let default_config ~(workers : int) =
+  {
+    b_ewma_alpha = 0.3;
+    b_backlog_max = 8;
+    b_shed_high = 4 * max 1 workers;
+    b_shed_low = 2 * max 1 workers;
+    b_decision_cap = 512;
+  }
+
+(** Why a worker was passed over for one dispatch. *)
+type skip =
+  | Dead
+  | Frozen
+  | Drained
+  | Breaker_open
+  | Backlog_full
+  | Half_open_hold  (** half-open breaker: one probe already in flight *)
+
+let skip_to_string = function
+  | Dead -> "dead"
+  | Frozen -> "frozen"
+  | Drained -> "drained"
+  | Breaker_open -> "breaker-open"
+  | Backlog_full -> "backlog-full"
+  | Half_open_hold -> "half-open-hold"
+
+type verdict =
+  | Dispatched of int  (** chosen worker pid *)
+  | Shed  (** admission control: aggregate in-flight over watermark *)
+  | All_skipped  (** every worker skipped -> refused *)
+
+type decision = {
+  d_clock : int64;
+  d_verdict : verdict;
+  d_skipped : (int * skip) list;  (** per-pid skip reasons, pid order *)
+}
+
+let pp_decision ppf d =
+  let verdict =
+    match d.d_verdict with
+    | Dispatched pid -> Printf.sprintf "dispatch pid=%d" pid
+    | Shed -> "shed"
+    | All_skipped -> "refused"
+  in
+  Format.fprintf ppf "@%Ld %s skipped=[%s]" d.d_clock verdict
+    (String.concat ";"
+       (List.map
+          (fun (pid, r) -> Printf.sprintf "%d:%s" pid (skip_to_string r))
+          d.d_skipped))
+
+type health = {
+  mutable h_ewma : float;  (** EWMA of in-flight, sampled per dispatch *)
+  mutable h_inflight : int;  (** dispatched, not yet completed *)
+  mutable h_dispatched : int;  (** cumulative, the tie-breaker *)
+}
 
 type t = {
   machine : Machine.t;
   port : int;
   workers : int list;  (** worker tree-root pids, registration order *)
+  cfg : config;
+  health : (int, health) Hashtbl.t;
+  mutable inflight : int;  (** aggregate dispatched-not-completed *)
+  mutable shedding : bool;  (** admission-control state (hysteresis) *)
+  mutable decisions : decision list;  (** newest first, bounded *)
+  mutable n_decisions : int;
+}
+
+(** One dispatched request: poll it until a reply, a timeout, or the
+    serving worker's death resolves it. *)
+type ticket = {
+  tk_conn : Net.conn;
+  tk_pid : int;
+  tk_sent : int64;
+  mutable tk_open : bool;
 }
 
 exception Balancer_error of string
 
-let create (machine : Machine.t) ~(port : int) ~(workers : int list) : t =
-  { machine; port; workers }
+let create ?config (machine : Machine.t) ~(port : int) ~(workers : int list) :
+    t =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> default_config ~workers:(List.length workers)
+  in
+  let health = Hashtbl.create 8 in
+  List.iter
+    (fun pid ->
+      Hashtbl.replace health pid { h_ewma = 0.; h_inflight = 0; h_dispatched = 0 })
+    workers;
+  {
+    machine;
+    port;
+    workers;
+    cfg;
+    health;
+    inflight = 0;
+    shedding = false;
+    decisions = [];
+    n_decisions = 0;
+  }
 
 let workers t = t.workers
 let port t = t.port
+let config t = t.cfg
 
 let listener t ~pid =
   match Net.find_listener_owned t.machine.Machine.net ~port:t.port ~owner:pid with
@@ -45,36 +158,239 @@ let draining t =
 let accepting t =
   List.filter (fun pid -> (listener t ~pid).Net.accepting) t.workers
 
+let health t ~pid =
+  match Hashtbl.find_opt t.health pid with
+  | Some h -> h
+  | None -> raise (Balancer_error (Printf.sprintf "pid %d is not a worker" pid))
+
+let ewma_inflight t ~pid = (health t ~pid).h_ewma
+let inflight t = t.inflight
+let shedding t = t.shedding
+
+(** The decision log, oldest first (bounded at [b_decision_cap]). *)
+let decisions t = List.rev t.decisions
+
 let dispatches ~pid =
   Obs.counter_value
     (Obs.counter ~labels:[ ("pid", string_of_int pid) ] "fleet.dispatches")
 
 let refused () = Obs.counter_value (Obs.counter "fleet.refused")
+let shed_count () = Obs.counter_value (Obs.counter "fleet.shed")
+let timeout_count () = Obs.counter_value (Obs.counter "fleet.timeouts")
 
-(** One closed-loop request through the kernel's round-robin: connect,
-    send, run the machine until a reply lands (or the serving worker
-    dies), return the reply together with the worker that served it.
-    [`Refused] when no worker accepts — every listener drained or
-    frozen mid-wave. Fault site [balancer.dispatch]. *)
-let request ?(max_cycles = 2_000_000) t (text : string) :
-    [ `Reply of int * string | `Refused ] =
+let latency_hist () =
+  Obs.histogram
+    ~buckets:[ 1e3; 1e4; 5e4; 1e5; 5e5; 1e6; 5e6 ]
+    "fleet.request_cycles"
+
+let record t verdict skipped =
+  let d =
+    { d_clock = t.machine.Machine.clock; d_verdict = verdict; d_skipped = skipped }
+  in
+  t.decisions <- d :: t.decisions;
+  t.n_decisions <- t.n_decisions + 1;
+  if t.n_decisions > t.cfg.b_decision_cap then begin
+    (* drop the oldest half rather than one-at-a-time list surgery *)
+    let keep = t.cfg.b_decision_cap / 2 in
+    let rec take k = function
+      | x :: xs when k > 0 -> x :: take (k - 1) xs
+      | _ -> []
+    in
+    t.decisions <- take keep t.decisions;
+    t.n_decisions <- keep
+  end
+
+let breaker_code ~pid =
+  int_of_float (Obs.gauge_value (Supervisor.breaker_gauge ~root_pid:pid))
+
+(* breaker_code: 0 Closed / 1 Open / 2 Half-open / 3 Abandoned *)
+let classify t ~pid : (Net.listener, skip) result =
+  let alive =
+    match Machine.proc t.machine pid with
+    | Some p -> if Proc.is_live p then Some p else None
+    | None -> None
+  in
+  match alive with
+  | None -> Error Dead
+  | Some p ->
+      if p.Proc.frozen then Error Frozen
+      else
+        let l = listener t ~pid in
+        if not l.Net.accepting then Error Drained
+        else
+          let code = breaker_code ~pid in
+          if code = 1 || code = 3 then Error Breaker_open
+          else if code = 2 && (health t ~pid).h_inflight > 0 then
+            Error Half_open_hold
+          else if Net.backlog_full l then Error Backlog_full
+          else Ok l
+
+(** Health-score every worker and pick the least-loaded eligible one.
+    Score = EWMA(in-flight) + current accept-queue depth; ties go to the
+    worker with fewer cumulative dispatches, then lower pid. Fault site
+    [balancer.health]. *)
+let pick t : (int * Net.listener * (int * skip) list, (int * skip) list) result
+    =
+  Fault.site "balancer.health";
+  let skipped = ref [] in
+  let best = ref None in
+  List.iter
+    (fun pid ->
+      let h = health t ~pid in
+      h.h_ewma <-
+        (t.cfg.b_ewma_alpha *. float_of_int h.h_inflight)
+        +. ((1. -. t.cfg.b_ewma_alpha) *. h.h_ewma);
+      match classify t ~pid with
+      | Error reason -> skipped := (pid, reason) :: !skipped
+      | Ok l ->
+          let score = h.h_ewma +. float_of_int (Net.backlog_depth l) in
+          let better =
+            match !best with
+            | None -> true
+            | Some (_, _, s, disp) ->
+                score < s || (score = s && h.h_dispatched < disp)
+          in
+          if better then best := Some (pid, l, score, h.h_dispatched))
+    t.workers;
+  match !best with
+  | Some (pid, l, _, _) -> Ok (pid, l, List.rev !skipped)
+  | None -> Error (List.rev !skipped)
+
+(** Admission control: flip the shedding state against the watermarks.
+    Returns true when the request must be shed. *)
+let admission t =
+  if t.shedding then begin
+    if t.inflight <= t.cfg.b_shed_low then t.shedding <- false
+  end
+  else if t.inflight >= t.cfg.b_shed_high then t.shedding <- true;
+  t.shedding
+
+let set_inflight_gauge t =
+  Obs.set_gauge (Obs.gauge "fleet.inflight") (float_of_int t.inflight)
+
+(** Non-blocking dispatch of one request. [`Shed] is the typed
+    over-capacity reply (admission control); [`Refused] means no worker
+    was eligible (the per-pid reasons are in the decision log). Fault
+    sites [balancer.dispatch] (every attempt), [balancer.health]
+    (scoring) and [fleet.shed] (on the shed path). *)
+let dispatch ?deadline t (text : string) :
+    [ `Ticket of ticket | `Shed | `Refused ] =
   Fault.site "balancer.dispatch";
-  match Net.route t.machine.Machine.net t.port with
-  | exception Net.Refused _ ->
-      Obs.incr (Obs.counter "fleet.refused");
-      `Refused
-  | conn, l ->
-      let pid = l.Net.l_owner in
-      Obs.incr
-        (Obs.counter ~labels:[ ("pid", string_of_int pid) ] "fleet.dispatches");
-      Net.client_send conn text;
-      let dead () =
-        match Machine.proc t.machine pid with
-        | Some p -> not (Proc.is_live p)
-        | None -> true
+  if admission t then begin
+    Fault.site "fleet.shed";
+    Obs.incr (Obs.counter "fleet.shed");
+    Obs.event ~kind:"balancer"
+      (Printf.sprintf "shed inflight=%d high=%d" t.inflight t.cfg.b_shed_high);
+    record t Shed [];
+    `Shed
+  end
+  else
+    match pick t with
+    | Error skipped ->
+        Obs.incr (Obs.counter "fleet.refused");
+        record t All_skipped skipped;
+        `Refused
+    | Ok (pid, l, skipped) -> (
+        Net.set_backlog_max l t.cfg.b_backlog_max;
+        match Net.connect_via t.machine.Machine.net l with
+        | exception Net.Refused _ ->
+            (* raced to full between scoring and admit *)
+            Obs.incr (Obs.counter "fleet.refused");
+            record t All_skipped [ (pid, Backlog_full) ];
+            `Refused
+        | conn ->
+            let h = health t ~pid in
+            h.h_inflight <- h.h_inflight + 1;
+            h.h_dispatched <- h.h_dispatched + 1;
+            t.inflight <- t.inflight + 1;
+            set_inflight_gauge t;
+            Obs.incr
+              (Obs.counter ~labels:[ ("pid", string_of_int pid) ]
+                 "fleet.dispatches");
+            record t (Dispatched pid) skipped;
+            (match deadline with
+            | Some at -> Net.set_deadline conn at
+            | None -> ());
+            Net.client_send conn text;
+            `Ticket
+              {
+                tk_conn = conn;
+                tk_pid = pid;
+                tk_sent = t.machine.Machine.clock;
+                tk_open = true;
+              })
+
+let finish t (tk : ticket) =
+  if tk.tk_open then begin
+    tk.tk_open <- false;
+    let h = health t ~pid:tk.tk_pid in
+    h.h_inflight <- max 0 (h.h_inflight - 1);
+    t.inflight <- max 0 (t.inflight - 1);
+    set_inflight_gauge t
+  end
+
+(** Poll a ticket against the current virtual clock. A reply resolves it
+    (recording the latency in [fleet.request_cycles]); a passed deadline
+    abandons the connection ([fleet.timeouts], the server may still
+    waste work on the stale backlog entry); a dead worker resolves it
+    with whatever bytes already arrived. *)
+let poll t (tk : ticket) :
+    [ `Pending | `Reply of int * string | `Timed_out of int ] =
+  if not tk.tk_open then `Pending
+  else if Net.client_pending tk.tk_conn > 0 then begin
+    finish t tk;
+    let cycles = Int64.sub t.machine.Machine.clock tk.tk_sent in
+    Obs.observe (latency_hist ()) (Int64.to_float cycles);
+    `Reply (tk.tk_pid, Net.client_recv tk.tk_conn)
+  end
+  else if Net.expired tk.tk_conn ~now:t.machine.Machine.clock then begin
+    finish t tk;
+    Net.client_close tk.tk_conn;
+    Obs.incr (Obs.counter "fleet.timeouts");
+    Obs.event ~kind:"balancer"
+      (Printf.sprintf "timeout pid=%d conn=%d" tk.tk_pid
+         tk.tk_conn.Net.conn_id);
+    `Timed_out tk.tk_pid
+  end
+  else
+    let dead =
+      match Machine.proc t.machine tk.tk_pid with
+      | Some p -> not (Proc.is_live p)
+      | None -> true
+    in
+    if dead then begin
+      finish t tk;
+      `Reply (tk.tk_pid, Net.client_recv tk.tk_conn)
+    end
+    else `Pending
+
+(** One closed-loop request: dispatch, run the machine until the reply
+    lands (or the deadline passes, or the serving worker dies), resolve.
+    [`Timed_out pid] carries the worker the request was stranded on. *)
+let request ?(max_cycles = 2_000_000) ?deadline_cycles t (text : string) :
+    [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ] =
+  let deadline =
+    Option.map
+      (fun d -> Int64.add t.machine.Machine.clock d)
+      deadline_cycles
+  in
+  match dispatch ?deadline t text with
+  | `Shed -> `Shed
+  | `Refused -> `Refused
+  | `Ticket tk ->
+      let resolved = ref `Pending in
+      let pred () =
+        match poll t tk with
+        | `Pending -> false
+        | (`Reply _ | `Timed_out _) as r ->
+            resolved := r;
+            true
       in
-      let (_ : _) =
-        Machine.run_until t.machine ~max_cycles ~pred:(fun () ->
-            Net.client_pending conn > 0 || dead ())
-      in
-      `Reply (pid, Net.client_recv conn)
+      let (_ : _) = Machine.run_until t.machine ~max_cycles ~pred in
+      (match !resolved with
+      | `Pending ->
+          (* cycle budget ran out with the request still pending *)
+          finish t tk;
+          `Reply (tk.tk_pid, Net.client_recv tk.tk_conn)
+      | `Reply (pid, s) -> `Reply (pid, s)
+      | `Timed_out pid -> `Timed_out pid)

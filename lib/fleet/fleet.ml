@@ -43,10 +43,11 @@ let refresh_gauges t =
 (** Assemble a fleet over already-booted workers (e.g. from
     [Workload.spawn_fleet]): every pid must be the root of its own tree
     and own a listener on [port]. *)
-let create (machine : Machine.t) ~(port : int) ~(pids : int list)
-    ~(blocks : Covgraph.block list) ~(policy : Dynacut.policy) : t =
+let create ?balancer:bcfg (machine : Machine.t) ~(port : int)
+    ~(pids : int list) ~(blocks : Covgraph.block list)
+    ~(policy : Dynacut.policy) : t =
   if pids = [] then raise (Fleet_error "fleet needs at least one worker");
-  let balancer = Balancer.create machine ~port ~workers:pids in
+  let balancer = Balancer.create ?config:bcfg machine ~port ~workers:pids in
   (* creating the balancer validates the listeners exist *)
   List.iter (fun pid -> ignore (Balancer.listener balancer ~pid)) pids;
   let workers = List.map (fun pid -> Rollout.make_worker machine ~pid) pids in
@@ -77,15 +78,25 @@ let worker t ~pid =
   | None -> raise (Fleet_error (Printf.sprintf "no worker with pid %d" pid))
 
 (** One closed-loop request through the balancer. *)
-let request ?max_cycles t text = Balancer.request ?max_cycles t.balancer text
+let request ?max_cycles ?deadline_cycles t text =
+  Balancer.request ?max_cycles ?deadline_cycles t.balancer text
 
-(** Rolling rollout of the fleet's cut (see {!Rollout.run}). *)
+(** Saturate the fleet open-loop (see {!Loadgen.run}). *)
+let overload t (cfg : Loadgen.config) ~(text : string) : Loadgen.stats =
+  Loadgen.run t.balancer cfg ~text
+
+(** Rolling rollout of the fleet's cut (see {!Rollout.run}). A completed
+    rollout compacts the manifest down to a checkpoint record, so the
+    append-only file stays bounded across repeated rollouts. *)
 let rollout ?(config = Rollout.default_config) t ~(drive : unit -> unit) () :
     Rollout.outcome * Rollout.wave_report list =
   let outcome, reports =
     Rollout.run ~manifest:t.manifest ~balancer:t.balancer ~workers:t.workers
       ~config ~blocks:t.blocks ~policy:t.policy ~drive ()
   in
+  (match outcome with
+  | Rollout.Completed _ -> Journal.Manifest.compact t.manifest
+  | Rollout.Halted _ -> ());
   t.outcome <- Some outcome;
   refresh_gauges t;
   (outcome, reports)
@@ -186,6 +197,7 @@ let recover (machine : Machine.t) ~(pids : int list) : recovery =
         in
         Journal.Manifest.append manifest
           (Journal.Manifest.Rollout_halted { wave });
+        Journal.Manifest.compact manifest;
         (wave, unwound)
   in
   let r = { fr_workers; fr_unwound; fr_wave; fr_torn } in

@@ -24,6 +24,7 @@ val manifest_dir : string
 (** Machine-fs directory holding the fleet manifest ([/tmpfs/fleet]). *)
 
 val create :
+  ?balancer:Balancer.config ->
   Machine.t ->
   port:int ->
   pids:int list ->
@@ -32,8 +33,10 @@ val create :
   t
 (** Assemble a fleet over already-booted workers. Every pid must be the
     root of its own process tree and own a listener on [port]; each gets
-    its own {!Dynacut.session} (and crash journal). Raises
-    {!Fleet_error} (or {!Balancer.Balancer_error}) otherwise. *)
+    its own {!Dynacut.session} (and crash journal). [?balancer] tunes
+    the dispatcher's accept-queue bound and shed watermarks
+    ({!Balancer.default_config} otherwise). Raises {!Fleet_error} (or
+    {!Balancer.Balancer_error}) otherwise. *)
 
 val workers : t -> Rollout.worker list
 val worker : t -> pid:int -> Rollout.worker
@@ -41,9 +44,19 @@ val balancer : t -> Balancer.t
 val manifest : t -> Journal.Manifest.t
 
 val request :
-  ?max_cycles:int -> t -> string -> [ `Reply of int * string | `Refused ]
-(** One closed-loop request through the balancer: the reply plus the pid
-    that served it, or [`Refused] when no worker accepts. *)
+  ?max_cycles:int ->
+  ?deadline_cycles:int64 ->
+  t ->
+  string ->
+  [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]
+(** One closed-loop request through the health-scored balancer: the
+    reply plus the pid that served it, [`Refused] when no worker is
+    eligible, [`Shed] when admission control rejects it over-capacity,
+    or [`Timed_out pid] when [?deadline_cycles] passed first. *)
+
+val overload : t -> Loadgen.config -> text:string -> Loadgen.stats
+(** Saturate the fleet with the deterministic open-loop generator
+    ({!Loadgen.run}): Poisson arrivals, deadlines, budgeted retries. *)
 
 val rollout :
   ?config:Rollout.config ->

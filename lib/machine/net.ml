@@ -21,6 +21,9 @@ type conn = {
   mutable s2c_consumed : int;
   mutable client_closed : bool;
   mutable server_closed : bool;
+  mutable deadline : int64 option;
+      (** virtual-clock instant after which the client abandons; host
+          (client) state only, never checkpointed *)
 }
 
 type listener = {
@@ -28,6 +31,8 @@ type listener = {
   l_owner : int;  (** owning process tree root; -1 = unowned (legacy) *)
   mutable backlog : conn list;  (** pending, not yet accepted *)
   mutable accepting : bool;
+  mutable backlog_max : int;
+      (** accept-queue bound; [max_int] = unbounded (legacy) *)
 }
 
 type t = {
@@ -54,7 +59,15 @@ let listen ?(owner = -1) t port =
   match List.find_opt (fun l -> l.l_owner = owner) ls with
   | Some l -> l
   | None ->
-      let l = { l_port = port; l_owner = owner; backlog = []; accepting = true } in
+      let l =
+        {
+          l_port = port;
+          l_owner = owner;
+          backlog = [];
+          accepting = true;
+          backlog_max = max_int;
+        }
+      in
       Hashtbl.replace t.listeners port (ls @ [ l ]);
       l
 
@@ -81,12 +94,29 @@ let find_conn t id = Hashtbl.find_opt t.conns id
 
 exception Refused of int
 
-(** Pick the next accepting listener on [port], round-robin over the
-    registration order. Deterministic: the cursor lives in the kernel and
-    only ever advances by dispatch. *)
+exception Timed_out of int
+(** A connection's virtual-clock deadline passed before the reply landed
+    (the id is the connection's). Distinct from {!Refused}: the request
+    was admitted, then abandoned. *)
+
+let backlog_depth (l : listener) = List.length l.backlog
+let backlog_full (l : listener) = backlog_depth l >= l.backlog_max
+let set_backlog_max (l : listener) n = l.backlog_max <- max 1 n
+
+let depth_gauge (l : listener) =
+  Obs.gauge
+    ~labels:
+      [ ("owner", string_of_int l.l_owner); ("port", string_of_int l.l_port) ]
+    "net.accept_queue_depth"
+
+(** Pick the next accepting listener with accept-queue room on [port],
+    round-robin over the registration order. Deterministic: the cursor
+    lives in the kernel and only ever advances by dispatch. *)
 let pick_listener t port : listener =
   let ls = listeners_on t port in
-  let accepting = List.filter (fun l -> l.accepting) ls in
+  let accepting =
+    List.filter (fun l -> l.accepting && not (backlog_full l)) ls
+  in
   match accepting with
   | [] -> raise (Refused port)
   | _ ->
@@ -95,28 +125,48 @@ let pick_listener t port : listener =
       Hashtbl.replace t.rr port (cur + 1);
       List.nth accepting (cur mod n)
 
-(** Host connects to a guest listener; returns the connection together
-    with the listener it was dispatched to (for per-worker accounting). *)
-let route t port : conn * listener =
-  let l = pick_listener t port in
+(** Admit one connection onto [l]'s accept queue. Raises {!Refused} when
+    the listener is not accepting or its bounded backlog is full. Fault
+    site [net.accept_queue] guards the bounded-admission decision, so
+    legacy unbounded listeners never reach it. *)
+let connect_via t (l : listener) : conn =
+  if not l.accepting then raise (Refused l.l_port);
+  if l.backlog_max < max_int then begin
+    Fault.site "net.accept_queue";
+    if backlog_full l then raise (Refused l.l_port)
+  end;
   let c =
     {
       conn_id = t.next_conn;
-      conn_port = port;
+      conn_port = l.l_port;
       c2s = Buffer.create 64;
       s2c = Buffer.create 64;
       c2s_consumed = 0;
       s2c_consumed = 0;
       client_closed = false;
       server_closed = false;
+      deadline = None;
     }
   in
   t.next_conn <- t.next_conn + 1;
   Hashtbl.replace t.conns c.conn_id c;
   l.backlog <- l.backlog @ [ c ];
-  (c, l)
+  Obs.set_gauge (depth_gauge l) (float_of_int (backlog_depth l));
+  c
+
+(** Host connects to a guest listener; returns the connection together
+    with the listener it was dispatched to (for per-worker accounting). *)
+let route t port : conn * listener =
+  let l = pick_listener t port in
+  (connect_via t l, l)
 
 let connect t port = fst (route t port)
+
+let set_deadline (c : conn) (at : int64) = c.deadline <- Some at
+let deadline (c : conn) = c.deadline
+
+let expired (c : conn) ~(now : int64) =
+  match c.deadline with Some d -> now >= d | None -> false
 
 let client_send (c : conn) (s : string) = Buffer.add_string c.c2s s
 
@@ -137,6 +187,7 @@ let server_accept (l : listener) : conn option =
   | [] -> None
   | c :: rest ->
       l.backlog <- rest;
+      Obs.set_gauge (depth_gauge l) (float_of_int (backlog_depth l));
       Some c
 
 let server_pending (c : conn) = Buffer.length c.c2s - c.c2s_consumed
@@ -203,6 +254,7 @@ let repair_conn t (s : conn_snapshot) : conn =
             s2c_consumed = s.cs_s2c_consumed;
             client_closed = s.cs_client_closed;
             server_closed = s.cs_server_closed;
+            deadline = None;
           }
         in
         Buffer.add_string c.c2s s.cs_c2s;

@@ -18,6 +18,9 @@ type conn = {
   mutable s2c_consumed : int;
   mutable client_closed : bool;
   mutable server_closed : bool;
+  mutable deadline : int64 option;
+      (** virtual-clock instant after which the client abandons; host
+          (client) state only, never checkpointed *)
 }
 
 type listener = {
@@ -25,6 +28,8 @@ type listener = {
   l_owner : int;  (** owning process tree root; -1 = unowned (legacy) *)
   mutable backlog : conn list;
   mutable accepting : bool;
+  mutable backlog_max : int;
+      (** accept-queue bound; [max_int] = unbounded (legacy) *)
 }
 
 type t
@@ -54,13 +59,43 @@ val find_conn : t -> int -> conn option
 
 exception Refused of int
 
+exception Timed_out of int
+(** A connection's virtual-clock deadline passed before the reply landed
+    (the id is the connection's). Distinct from {!Refused}: the request
+    was admitted, then abandoned. *)
+
 val connect : t -> int -> conn
-(** Connect to a guest listener; round-robins over accepting listeners.
-    Raises {!Refused} if nothing listens or no listener is accepting. *)
+(** Connect to a guest listener; round-robins over the accepting
+    listeners with accept-queue room. Raises {!Refused} if nothing
+    listens, no listener is accepting, or every backlog is full. *)
 
 val route : t -> int -> conn * listener
 (** Like {!connect} but also returns the listener the connection was
     dispatched to, for per-worker accounting. *)
+
+val connect_via : t -> listener -> conn
+(** Admit one connection onto a {e specific} listener's accept queue —
+    the health-scored balancer's entry point, bypassing the kernel
+    round-robin. Raises {!Refused} when the listener is not accepting or
+    its bounded backlog is full. Fault site [net.accept_queue] guards
+    the bounded-admission decision. *)
+
+val backlog_depth : listener -> int
+(** Pending, not-yet-accepted connections (also exposed as the
+    [net.accept_queue_depth{owner,port}] gauge). *)
+
+val backlog_full : listener -> bool
+val set_backlog_max : listener -> int -> unit
+(** Bound the accept queue (clamped to >= 1); [max_int] = unbounded. *)
+
+val set_deadline : conn -> int64 -> unit
+(** Arm a client-side deadline (absolute virtual-clock instant). The
+    kernel never enforces it: clients poll {!expired} and abandon. *)
+
+val deadline : conn -> int64 option
+
+val expired : conn -> now:int64 -> bool
+(** True once [now] reaches the deadline ([now >= deadline]). *)
 
 val client_send : conn -> string -> unit
 val client_recv : conn -> string

@@ -161,6 +161,9 @@ let known_sites =
     ("fleet.reenable", "drift monitor's automatic fleet-wide re-enable");
     ("fleet.recut", "drift monitor's automatic re-cut of cold blocks");
     ("balancer.dispatch", "route one client connection to a fleet worker");
+    ("balancer.health", "health-score the fleet's workers for one dispatch");
+    ("net.accept_queue", "admit a connection onto a bounded accept queue");
+    ("fleet.shed", "admission control sheds one over-capacity request");
   ]
 
 (** Run-wide per-site fired count as recorded in the metric registry.

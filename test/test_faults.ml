@@ -415,6 +415,9 @@ let test_known_sites_registry () =
         "fleet.reenable";
         "fleet.recut";
         "balancer.dispatch";
+        "balancer.health";
+        "net.accept_queue";
+        "fleet.shed";
       ]
   in
   List.iter

@@ -10,7 +10,7 @@ let lblocks = lazy (Common.web_feature_blocks lapp)
 let lpolicy =
   { Dynacut.method_ = `First_byte; on_trap = `Redirect "ltpd_403" }
 
-let fleet_boot ?(traced = false) ~n () =
+let fleet_boot ?balancer ?(traced = false) ~n () =
   Obs.reset ();
   Fault.reset ();
   let ctxs = Workload.spawn_fleet ~traced ~n lapp in
@@ -18,8 +18,8 @@ let fleet_boot ?(traced = false) ~n () =
   let m = (List.hd ctxs).Workload.m in
   let pids = List.map (fun c -> c.Workload.pid) ctxs in
   let fleet =
-    Fleet.create m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
-      ~policy:lpolicy
+    Fleet.create ?balancer m ~port:Ltpd.port ~pids
+      ~blocks:(Lazy.force lblocks) ~policy:lpolicy
   in
   (ctxs, m, pids, fleet)
 
@@ -141,7 +141,7 @@ let test_rollout_completes () =
   | `Reply (_, resp) ->
       Alcotest.(check bool) "PUT blocked" true
         (String.length resp > 12 && String.sub resp 9 3 = "403")
-  | `Refused -> Alcotest.fail "fleet refused");
+  | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused");
   ignore pids
 
 let test_rollout_halts_on_trap_storm () =
@@ -179,7 +179,7 @@ let test_rollout_halts_on_trap_storm () =
   | `Reply (_, resp) ->
       Alcotest.(check bool) "GET ok" true
         (String.length resp > 12 && String.sub resp 9 3 = "200")
-  | `Refused -> Alcotest.fail "fleet refused"
+  | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
 
 (* ---------- drift closed loop ---------- *)
 
@@ -275,7 +275,251 @@ let test_recover_unwinds_open_wave () =
   | `Reply (_, resp) ->
       Alcotest.(check bool) "GET ok" true
         (String.length resp > 12 && String.sub resp 9 3 = "200")
-  | `Refused -> Alcotest.fail "fleet refused"
+  | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
+
+(* ---------- health-scored dispatch (§6b) ---------- *)
+
+let test_frozen_worker_zero_dispatches () =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:3 () in
+  let cold = List.hd pids in
+  Machine.freeze m ~pid:cold;
+  for _ = 1 to 12 do
+    match Fleet.request fleet lget with
+    | `Reply (pid, resp) ->
+        Alcotest.(check bool) "not the frozen worker" true (pid <> cold);
+        Alcotest.(check string) "200" "200" (String.sub resp 9 3)
+    | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
+  done;
+  Alcotest.(check int) "zero dispatches to the frozen worker" 0
+    (Balancer.dispatches ~pid:cold);
+  (* the decision log shows it skipped as frozen on every dispatch *)
+  let ds = Balancer.decisions (Fleet.balancer fleet) in
+  Alcotest.(check bool) "decisions recorded" true (List.length ds >= 12);
+  List.iter
+    (fun (d : Balancer.decision) ->
+      match d.Balancer.d_verdict with
+      | Balancer.Dispatched _ ->
+          Alcotest.(check bool) "frozen pid in the skip list" true
+            (List.assoc_opt cold d.Balancer.d_skipped = Some Balancer.Frozen)
+      | _ -> ())
+    ds;
+  (* thawed, it rejoins the rotation (least-loaded: it goes first) *)
+  Machine.thaw m ~pid:cold;
+  for _ = 1 to 6 do
+    ignore (Fleet.request fleet lget)
+  done;
+  Alcotest.(check bool) "serves again after thaw" true
+    (Balancer.dispatches ~pid:cold > 0)
+
+let test_breaker_open_drains_dispatch () =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:2 () in
+  let sick = List.nth pids 0 and healthy = List.nth pids 1 in
+  (* breaker open (as Supervisor.set_breaker would publish it): the
+     balancer must route around the worker without being told *)
+  Obs.set_gauge (Supervisor.breaker_gauge ~root_pid:sick) 1.;
+  for _ = 1 to 6 do
+    match Fleet.request fleet lget with
+    | `Reply (pid, _) -> Alcotest.(check int) "only the healthy worker" healthy pid
+    | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
+  done;
+  Alcotest.(check int) "zero dispatches while open" 0
+    (Balancer.dispatches ~pid:sick);
+  (* half-open: exactly one trickle probe at a time *)
+  Obs.set_gauge (Supervisor.breaker_gauge ~root_pid:sick) 2.;
+  Obs.set_gauge (Supervisor.breaker_gauge ~root_pid:healthy) 1.;
+  let b = Fleet.balancer fleet in
+  (match Balancer.dispatch b lget with
+  | `Ticket tk ->
+      Alcotest.(check int) "probe goes to the half-open worker" sick
+        Balancer.(tk.tk_pid);
+      (* a second concurrent dispatch is held back entirely *)
+      (match Balancer.dispatch b lget with
+      | `Refused -> ()
+      | `Ticket _ | `Shed -> Alcotest.fail "half-open hold violated");
+      let (_ : _) =
+        Machine.run_until m ~max_cycles:2_000_000 ~pred:(fun () ->
+            Net.client_pending Balancer.(tk.tk_conn) > 0)
+      in
+      (match Balancer.poll b tk with
+      | `Reply (pid, resp) ->
+          Alcotest.(check int) "probe served by the probed worker" sick pid;
+          Alcotest.(check string) "probe 200" "200" (String.sub resp 9 3)
+      | `Pending | `Timed_out _ -> Alcotest.fail "probe did not complete")
+  | `Refused | `Shed -> Alcotest.fail "half-open worker got no probe");
+  (* breaker closed again: normal rotation resumes *)
+  Obs.set_gauge (Supervisor.breaker_gauge ~root_pid:sick) 0.;
+  Obs.set_gauge (Supervisor.breaker_gauge ~root_pid:healthy) 0.;
+  match Fleet.request fleet lget with
+  | `Reply (_, resp) -> Alcotest.(check string) "200" "200" (String.sub resp 9 3)
+  | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
+
+let test_admission_shed_hysteresis () =
+  let bcfg =
+    {
+      (Balancer.default_config ~workers:2) with
+      Balancer.b_shed_high = 2;
+      b_shed_low = 0;
+    }
+  in
+  let _ctxs, _m, _pids, fleet = fleet_boot ~balancer:bcfg ~n:2 () in
+  let b = Fleet.balancer fleet in
+  let tk () =
+    match Balancer.dispatch b lget with
+    | `Ticket tk -> tk
+    | `Shed | `Refused -> Alcotest.fail "dispatch under the watermark shed"
+  in
+  let t1 = tk () in
+  let t2 = tk () in
+  (* aggregate in-flight at the high watermark: shed, and latch *)
+  (match Balancer.dispatch b lget with
+  | `Shed -> ()
+  | `Ticket _ | `Refused -> Alcotest.fail "expected shed at the watermark");
+  Alcotest.(check bool) "shedding latched" true (Balancer.shedding b);
+  (* hysteresis: one completion is not enough to re-admit *)
+  Balancer.finish b t1;
+  (match Balancer.dispatch b lget with
+  | `Shed -> ()
+  | `Ticket _ | `Refused -> Alcotest.fail "re-admitted above the low watermark");
+  (* drained to the low watermark: admission resumes *)
+  Balancer.finish b t2;
+  (match Balancer.dispatch b lget with
+  | `Ticket tk -> Balancer.finish b tk
+  | `Shed | `Refused -> Alcotest.fail "did not re-admit at the low watermark");
+  Alcotest.(check bool) "shedding cleared" true (not (Balancer.shedding b));
+  Alcotest.(check bool) "sheds counted" true (Balancer.shed_count () >= 2)
+
+let test_loadgen_deterministic_budget () =
+  let scenario () =
+    let _ctxs, _m, _pids, fleet = fleet_boot ~n:2 () in
+    Fleet.overload fleet
+      {
+        Loadgen.default_config with
+        Loadgen.lg_offered = 200.;
+        lg_requests = 40;
+        lg_deadline = 100_000L;
+        lg_max_retries = 3;
+        lg_retry_budget = 10;
+      }
+      ~text:lget
+  in
+  let s1 = scenario () in
+  let s2 = scenario () in
+  Alcotest.(check bool) "same seed, identical stats" true (s1 = s2);
+  Alcotest.(check int) "every arrival generated" 40 s1.Loadgen.s_offered;
+  Alcotest.(check bool) "some requests completed" true
+    (s1.Loadgen.s_completed > 0);
+  Alcotest.(check bool) "overload engaged the retry path" true
+    (s1.Loadgen.s_retries > 0);
+  Alcotest.(check bool) "the budget capped the retry amplification" true
+    (s1.Loadgen.s_budget_exhausted > 0);
+  Alcotest.(check int) "retries never exceed the budget" 10
+    (min 10 s1.Loadgen.s_retries)
+
+(* ---------- manifest compaction ---------- *)
+
+let test_manifest_checkpoint_compact () =
+  let fs = Vfs.create () in
+  let man = Journal.Manifest.attach fs ~dir:"/tmpfs/fleet" in
+  List.iter (Journal.Manifest.append man)
+    Journal.Manifest.
+      [
+        Wave_begin { wave = 1; pids = [ 100; 101 ] };
+        Worker_cut { wave = 1; pid = 100 };
+        Worker_cut { wave = 1; pid = 101 };
+        Wave_done { wave = 1 };
+        Wave_begin { wave = 2; pids = [ 102; 103 ] };
+        Worker_cut { wave = 2; pid = 102 };
+      ];
+  let before = Journal.Manifest.summarize (fst (Journal.Manifest.read man)) in
+  (* tear the tail: compaction must drop it and re-seal *)
+  (match Vfs.find fs "/tmpfs/fleet/manifest" with
+  | Some raw -> Vfs.add fs "/tmpfs/fleet/manifest" (raw ^ "\x07garbage")
+  | None -> Alcotest.fail "manifest file missing");
+  let _, torn = Journal.Manifest.read man in
+  Alcotest.(check bool) "tail torn" true torn;
+  Journal.Manifest.compact man;
+  let entries, torn' = Journal.Manifest.read man in
+  Alcotest.(check bool) "fully sealed after compaction" false torn';
+  (* closed history folds into one checkpoint; the open wave's records
+     are re-emitted verbatim so recovery can still unwind it *)
+  (match entries with
+  | Journal.Manifest.
+      [
+        Checkpoint { completed = [ 1 ]; halted = None; done_ = false };
+        Wave_begin { wave = 2; pids = [ 102; 103 ] };
+        Worker_cut { wave = 2; pid = 102 };
+      ] ->
+      ()
+  | _ ->
+      Alcotest.failf "unexpected compacted manifest: [%s]"
+        (String.concat "; "
+           (List.map
+              (Format.asprintf "%a" Journal.Manifest.pp_entry)
+              entries)));
+  let after = Journal.Manifest.summarize entries in
+  Alcotest.(check bool) "summary preserved" true (before = after);
+  (* close the wave and re-compact: everything folds into the record *)
+  Journal.Manifest.append man (Journal.Manifest.Wave_done { wave = 2 });
+  Journal.Manifest.compact man;
+  (match Journal.Manifest.read man with
+  | ( [
+        Journal.Manifest.Checkpoint
+          { completed = [ 1; 2 ]; halted = None; done_ = false };
+      ],
+      false ) ->
+      ()
+  | entries2, _ ->
+      Alcotest.failf "re-compaction kept %d entries" (List.length entries2));
+  (* a checkpoint roundtrips like any entry *)
+  Journal.Manifest.append man
+    (Journal.Manifest.Checkpoint
+       { completed = [ 9 ]; halted = Some 3; done_ = true });
+  let all, torn'' = Journal.Manifest.read man in
+  Alcotest.(check bool) "appended checkpoint intact" true (not torn'');
+  match List.rev all with
+  | Journal.Manifest.Checkpoint { completed = [ 9 ]; halted = Some 3; done_ = true }
+    :: _ ->
+      ()
+  | _ -> Alcotest.fail "checkpoint did not roundtrip"
+
+(* ---------- owner-keyed routing across reap + revive ---------- *)
+
+let test_route_after_reap_revive () =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:2 () in
+  let victim = List.nth pids 0 and other = List.nth pids 1 in
+  (* the controller dies mid-restore: the victim's processes were reaped
+     and their revival is recovery's job *)
+  Fault.arm ~kill:true "restore.process" Fault.One_shot;
+  let w = Fleet.worker fleet ~pid:victim in
+  (match
+     Dynacut.try_cut w.Rollout.w_session ~blocks:(Lazy.force lblocks)
+       ~policy:lpolicy ()
+   with
+  | (_ : Dynacut.cut_result) -> Alcotest.fail "controller survived its death"
+  | exception Fault.Controller_killed _ -> ());
+  Fault.reset ();
+  let r = Fleet.recover m ~pids in
+  (match List.assoc victim r.Fleet.fr_workers with
+  | `Rolled_back -> ()
+  | a ->
+      Alcotest.failf "victim recovery: %s"
+        (match a with
+        | `Nothing -> "nothing"
+        | `Thawed -> "thawed"
+        | `Completed -> "completed"
+        | _ -> "?"));
+  (* the revived worker re-registered its listener under its own pid:
+     drain the other worker and the request must route to the victim *)
+  Balancer.drain (Fleet.balancer fleet) ~pid:other;
+  (match Fleet.request fleet lget with
+  | `Reply (pid, resp) ->
+      Alcotest.(check int) "the revived worker serves" victim pid;
+      Alcotest.(check string) "200" "200" (String.sub resp 9 3)
+  | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused");
+  Balancer.undrain (Fleet.balancer fleet) ~pid:other;
+  match Fleet.request fleet lget with
+  | `Reply (_, resp) -> Alcotest.(check string) "200" "200" (String.sub resp 9 3)
+  | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
 
 let suite =
   [
@@ -292,4 +536,16 @@ let suite =
     Alcotest.test_case "drift replay exact" `Quick test_drift_replay_exact;
     Alcotest.test_case "recover unwinds open wave" `Quick
       test_recover_unwinds_open_wave;
+    Alcotest.test_case "frozen worker gets zero dispatches" `Quick
+      test_frozen_worker_zero_dispatches;
+    Alcotest.test_case "breaker-open drains dispatch" `Quick
+      test_breaker_open_drains_dispatch;
+    Alcotest.test_case "admission shed hysteresis" `Quick
+      test_admission_shed_hysteresis;
+    Alcotest.test_case "loadgen deterministic + budget" `Quick
+      test_loadgen_deterministic_budget;
+    Alcotest.test_case "manifest checkpoint compaction" `Quick
+      test_manifest_checkpoint_compact;
+    Alcotest.test_case "owner-keyed routing after reap+revive" `Quick
+      test_route_after_reap_revive;
   ]

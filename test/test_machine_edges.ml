@@ -348,6 +348,69 @@ let test_net_owner_keyed_lookup () =
   | None -> Alcotest.fail "sole-listener fallback broken");
   ignore l1
 
+let test_net_bounded_backlog_refuses () =
+  let net = Net.create () in
+  let l = Net.listen ~owner:1 net 9404 in
+  Alcotest.(check bool) "unbounded by default" false (Net.backlog_full l);
+  Net.set_backlog_max l 2;
+  let c1 = Net.connect net 9404 in
+  let (_ : Net.conn) = Net.connect net 9404 in
+  Alcotest.(check int) "depth readback" 2 (Net.backlog_depth l);
+  Alcotest.(check bool) "full" true (Net.backlog_full l);
+  (* a full accept queue bounces the connection instead of queueing it *)
+  (match Net.connect net 9404 with
+  | (_ : Net.conn) -> Alcotest.fail "expected Refused"
+  | exception Net.Refused p -> Alcotest.(check int) "port" 9404 p);
+  (* accepting one frees a slot *)
+  (match Net.server_accept l with
+  | Some _ -> ()
+  | None -> Alcotest.fail "accept failed");
+  Alcotest.(check bool) "slot freed" false (Net.backlog_full l);
+  let (_ : Net.conn) = Net.connect net 9404 in
+  Alcotest.(check bool) "full again" true (Net.backlog_full l);
+  ignore c1
+
+let test_net_deadline_expiry () =
+  let net = Net.create () in
+  let (_ : Net.listener) = Net.listen ~owner:1 net 9405 in
+  let c = Net.connect net 9405 in
+  Alcotest.(check bool) "no deadline by default" false
+    (Net.expired c ~now:Int64.max_int);
+  Net.set_deadline c 1_000L;
+  Alcotest.(check (option int64)) "deadline readback" (Some 1_000L)
+    (Net.deadline c);
+  Alcotest.(check bool) "before" false (Net.expired c ~now:999L);
+  (* inclusive: reaching the deadline exactly counts as expiry, so a
+     clock advanced *to* the deadline cannot livelock a poller *)
+  Alcotest.(check bool) "at" true (Net.expired c ~now:1_000L);
+  Alcotest.(check bool) "after" true (Net.expired c ~now:1_001L)
+
+let test_net_drain_undrain_racing () =
+  let net = Net.create () in
+  let l1 = Net.listen ~owner:1 net 9406 in
+  let l2 = Net.listen ~owner:2 net 9406 in
+  let owner () = (snd (Net.route net 9406)).Net.l_owner in
+  Alcotest.(check int) "rr starts at l1" 1 (owner ());
+  (* drain mid-rotation: the cursor re-targets the survivors *)
+  l2.Net.accepting <- false;
+  Alcotest.(check int) "l2 drained" 1 (owner ());
+  (* flip the drained side between routes *)
+  l2.Net.accepting <- true;
+  l1.Net.accepting <- false;
+  Alcotest.(check int) "flipped to l2" 2 (owner ());
+  Alcotest.(check int) "still l2" 2 (owner ());
+  (* both drained: refused, not queued *)
+  l2.Net.accepting <- false;
+  (match Net.route net 9406 with
+  | (_ : Net.conn * Net.listener) -> Alcotest.fail "expected Refused"
+  | exception Net.Refused p -> Alcotest.(check int) "port" 9406 p);
+  (* undrain both: the rotation resumes over the full set *)
+  l1.Net.accepting <- true;
+  l2.Net.accepting <- true;
+  let seen = List.init 4 (fun _ -> owner ()) in
+  Alcotest.(check bool) "both serve again" true
+    (List.mem 1 seen && List.mem 2 seen)
+
 let test_net_guest_fleet_fanout () =
   (* two guest echo servers bind the same port on one machine; the
      kernel fans incoming connections out across both processes *)
@@ -397,5 +460,10 @@ let suite =
     Alcotest.test_case "net fan-out round robin" `Quick test_net_fanout_round_robin;
     Alcotest.test_case "net drain skips and refuses" `Quick test_net_drain_skips_and_refuses;
     Alcotest.test_case "net owner-keyed lookup" `Quick test_net_owner_keyed_lookup;
+    Alcotest.test_case "net bounded backlog refuses" `Quick
+      test_net_bounded_backlog_refuses;
+    Alcotest.test_case "net deadline expiry" `Quick test_net_deadline_expiry;
+    Alcotest.test_case "net drain/undrain racing" `Quick
+      test_net_drain_undrain_racing;
     Alcotest.test_case "net guest fleet fan-out" `Quick test_net_guest_fleet_fanout;
   ]
