@@ -489,6 +489,125 @@ let run_overload () =
   close_out oc;
   Format.fprintf fmt "  wrote BENCH_overload.json@."
 
+(* ---------- chaos: site x mode coverage + invariant pass rate ---------- *)
+
+(* The §6c acceptance gate: the directed coverage matrix must exercise
+   every registered fault site in every applicable mode (fail/kill/delay
+   everywhere, corrupt/enospc/eio at the storage sites), and a fleet of
+   seeded multi-fault schedules must pass every invariant oracle. Emits
+   BENCH_chaos.json with the coverage table, the pass rate and the
+   recovery-time distribution; any probe failure or invariant violation
+   fails the bench. --quick keeps the full matrix (the gate) but runs
+   fewer random schedules. *)
+let run_chaos () =
+  Common.section fmt "Chaos: site x mode coverage + invariant oracles";
+  let probes = Chaos.coverage_matrix () in
+  let sites = List.map fst Fault.known_sites in
+  List.iter
+    (fun site ->
+      let mine = List.filter (fun p -> p.Chaos.p_site = site) probes in
+      let cell (p : Chaos.probe) =
+        Printf.sprintf "%s%s"
+          (Fault.mode_to_string p.Chaos.p_mode)
+          (if p.Chaos.p_ok then "" else "!FAIL")
+      in
+      Format.fprintf fmt "  %-22s %s@." site
+        (String.concat " " (List.map cell mine)))
+    sites;
+  let failed = List.filter (fun p -> not p.Chaos.p_ok) probes in
+  List.iter
+    (fun (p : Chaos.probe) ->
+      Format.fprintf fmt "  FAIL %s:%s — %s@." p.Chaos.p_site
+        (Fault.mode_to_string p.Chaos.p_mode)
+        p.Chaos.p_detail)
+    failed;
+  (* every applicable mode of every registered site must have a passing
+     probe — an unexercised mode is a coverage hole, not a skip *)
+  let holes =
+    List.concat_map
+      (fun site ->
+        List.filter_map
+          (fun mode ->
+            if
+              List.exists
+                (fun p ->
+                  p.Chaos.p_site = site && p.Chaos.p_mode = mode
+                  && p.Chaos.p_ok)
+                probes
+            then None
+            else Some (site, mode))
+          (Fault.applicable_modes site))
+      sites
+  in
+  let runs = if !quick then 8 else 50 in
+  let reports =
+    List.init runs (fun i ->
+        let sched = Schedule.generate ~seed:(1000 + i) () in
+        let r = Chaos.run sched in
+        Format.fprintf fmt "  run seed=%d events=%d fired=%d %s@."
+          sched.Schedule.sc_seed
+          (List.length sched.Schedule.sc_events)
+          (List.length r.Chaos.r_fired)
+          (if Chaos.passed r then "pass"
+           else
+             String.concat "; "
+               (List.map
+                  (Format.asprintf "%a" Oracle.pp_violation)
+                  r.Chaos.r_violations));
+        r)
+  in
+  let violated = List.filter (fun r -> not (Chaos.passed r)) reports in
+  let fired_events =
+    List.fold_left (fun a r -> a + List.length r.Chaos.r_fired) 0 reports
+  in
+  let total_events =
+    List.fold_left
+      (fun a (r : Chaos.report) ->
+        a + List.length r.Chaos.r_schedule.Schedule.sc_events)
+      0 reports
+  in
+  let recovery =
+    List.map (fun r -> float_of_int r.Chaos.r_recovery_cycles) reports
+  in
+  let p50 = Obs.percentile_list 50. recovery
+  and p99 = Obs.percentile_list 99. recovery in
+  Format.fprintf fmt
+    "  %d probes (%d failed), %d holes; %d/%d runs passed, %d/%d events \
+     fired; recovery p50 %.0f p99 %.0f cycles@."
+    (List.length probes) (List.length failed) (List.length holes)
+    (runs - List.length violated)
+    runs fired_events total_events p50 p99;
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc "{\n  \"sites\": %d,\n  \"probes\": %d" (List.length sites)
+    (List.length probes);
+  Printf.fprintf oc ",\n  \"probe_failures\": %d" (List.length failed);
+  Printf.fprintf oc ",\n  \"coverage_holes\": %d" (List.length holes);
+  List.iter
+    (fun site ->
+      let mine =
+        List.filter (fun p -> p.Chaos.p_site = site && p.Chaos.p_ok) probes
+      in
+      Printf.fprintf oc ",\n  \"%s\": %S" site
+        (String.concat " "
+           (List.map (fun p -> Fault.mode_to_string p.Chaos.p_mode) mine)))
+    sites;
+  Printf.fprintf oc ",\n  \"runs\": %d,\n  \"runs_passed\": %d" runs
+    (runs - List.length violated);
+  Printf.fprintf oc ",\n  \"events_fired\": %d,\n  \"events_total\": %d"
+    fired_events total_events;
+  Printf.fprintf oc ",\n  \"recovery_p50_cycles\": %.0f" p50;
+  Printf.fprintf oc ",\n  \"recovery_p99_cycles\": %.0f\n}\n" p99;
+  close_out oc;
+  Format.fprintf fmt "  wrote BENCH_chaos.json@.";
+  if failed <> [] || holes <> [] then
+    failwith
+      (Printf.sprintf "chaos: %d probe failures, %d coverage holes"
+         (List.length failed) (List.length holes));
+  if violated <> [] then
+    failwith
+      (Printf.sprintf "chaos: %d of %d runs violated an invariant"
+         (List.length violated) runs)
+
 (* ---------- experiment registry ---------- *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -507,6 +626,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("obs", "observability breakdown + registry overhead", run_obs);
     ("fleet", "fan-out throughput + rollout pause per wave (§6a)", run_fleet);
     ("overload", "goodput + p99 vs offered load, shed on/off (§6b)", run_overload);
+    ("chaos", "site x mode fault coverage + invariant oracles (§6c)", run_chaos);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 

@@ -39,7 +39,9 @@ dune exec examples/overload_soak.exe
 # actually present in lib/ — a site added in code but missing from
 # Fault.known_sites would silently escape the crash matrix below.
 echo "== fault-site registry sync =="
-sites_in_code=$(grep -rhoE 'Fault\.site "[^"]+"' lib/ | sed 's/Fault.site "//; s/"$//' | sort -u)
+# The call may carry optional labelled args (e.g. ~scope:pid) before the
+# site literal, so match up to the first quoted string on the line.
+sites_in_code=$(grep -rhoE 'Fault\.site [^"]*"[^"]+"' lib/ | sed 's/.*"\(.*\)"$/\1/' | sort -u)
 sites_listed=$(dune exec bin/dynacut_cli.exe -- fleet --list-fault-sites | awk '{print $1}' | sort -u)
 if [ "$sites_in_code" != "$sites_listed" ]; then
   echo "FAIL: Fault.site calls in lib/ disagree with --list-fault-sites:"
@@ -56,6 +58,20 @@ echo "   $(echo "$sites_listed" | wc -l) sites in sync"
 # cut XOR fully original. The matrix fails on any site left unexercised.
 echo "== crash-recovery matrix =="
 dune exec examples/crash_matrix.exe
+
+# Chaos smoke (DESIGN.md §6c): the directed site x mode coverage matrix
+# (every registered site in every applicable mode — the bench hard-fails
+# on any unexercised applicable mode, i.e. a coverage hole) plus a small
+# batch of seeded multi-fault schedules checked against the invariant
+# oracles, written to BENCH_chaos.json. CHAOS_FULL=1 runs the full
+# 50-schedule sweep instead.
+if [ "${CHAOS_FULL:-0}" = "1" ]; then
+  echo "== bench chaos (full sweep) =="
+  dune exec bench/main.exe -- chaos
+else
+  echo "== bench --quick chaos =="
+  dune exec bench/main.exe -- --quick chaos
+fi
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="

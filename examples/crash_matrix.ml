@@ -353,6 +353,28 @@ let fleet_wave site =
     ~cut_pids:wave1;
   assert_fleet_serving ~site ~what:"after recover" fleet
 
+(* Controller dies appending the very first manifest entry (wave 1's
+   Wave_begin): the kill fires before the write lands, so there is no
+   manifest and no worker was touched — recovery unwinds nothing and the
+   fleet is fully original. *)
+let fleet_manifest site =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:4 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  let drive () = ignore (Fleet.request fleet lget) in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Fleet.rollout fleet ~config:fleet_rollout_config ~drive () with
+  | (_ : Rollout.outcome * Rollout.wave_report list) ->
+      fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  if r.Fleet.fr_unwound <> [] then
+    fail "%s: recovery unwound an untouched fleet" site;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:[];
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
 (* Controller dies as the drift monitor begins a fleet-wide re-enable:
    no worker was reverted yet, so the committed cut stays fleet-wide. *)
 let fleet_reenable site =
@@ -477,29 +499,44 @@ let fleet_shed site =
   in
   assert_fleet_serving ~site ~what:"after recover" fleet'
 
-(* every registered site maps to exactly one crash scenario; a new site
-   without a mapping fails the matrix rather than silently shrinking it *)
-let scenario_of_site = function
-  | ( "criu.checkpoint" | "criu.save" | "criu.load" | "rewrite.patch"
-    | "inject.lib" | "inject.policy" | "restore.process" | "journal.lock"
-    | "journal.append" ) as s ->
-      plain s
-  | "rewrite.unmap" as s -> plain ~method_:`Unmap_pages s
-  | "restore.tcp_repair" as s -> plain ~tcp:true s
-  | "restore.respawn" as s -> respawn s
-  | "supervisor.promote" as s -> promote s
-  | "supervisor.reenable" as s -> reenable s
-  | "crit.encode" as s -> crit s
-  | "crit.decode" as s -> crit s
-  | "recover.replay" as s -> recover_crash s
-  | "fleet.wave" as s -> fleet_wave s
-  | "fleet.reenable" as s -> fleet_reenable s
-  | "fleet.recut" as s -> fleet_recut s
-  | "balancer.dispatch" as s -> balancer_dispatch s
-  | "balancer.health" as s -> balancer_request s
-  | "net.accept_queue" as s -> balancer_request s
-  | "fleet.shed" as s -> fleet_shed s
-  | s -> fail "site %s has no crash scenario — extend crash_matrix.ml" s
+(* Every registered site maps to a scenario through its family prefix
+   (the registry name up to the first '.'), with per-site overrides for
+   the handful that need a special driver. A site added to the registry
+   inherits its family's driver automatically — and a site whose family
+   has none fails the matrix rather than silently shrinking it, so the
+   mapping cannot drift from [Fault.known_sites]. *)
+let family site =
+  match String.index_opt site '.' with
+  | Some i -> String.sub site 0 i
+  | None -> site
+
+let scenario_of_site site =
+  match site with
+  (* per-site overrides: crashes that need a dedicated driver *)
+  | "rewrite.unmap" -> plain ~method_:`Unmap_pages site
+  | "restore.tcp_repair" -> plain ~tcp:true site
+  | "restore.respawn" -> respawn site
+  | "supervisor.promote" -> promote site
+  | "supervisor.reenable" -> reenable site
+  | "recover.replay" -> recover_crash site
+  | "fleet.wave" -> fleet_wave site
+  | "fleet.manifest" -> fleet_manifest site
+  | "fleet.reenable" -> fleet_reenable site
+  | "fleet.recut" -> fleet_recut site
+  | "fleet.shed" -> fleet_shed site
+  | "balancer.dispatch" -> balancer_dispatch site
+  | _ -> (
+      (* family defaults: the single-tree cut pipeline crashes under
+         [plain]; crit round-trips under [crit]; every dispatch-path
+         site (balancer scoring, accept queue, worker serve) crashes
+         mid-request under [balancer_request] *)
+      match family site with
+      | "criu" | "rewrite" | "inject" | "restore" | "journal" -> plain site
+      | "crit" -> crit site
+      | "balancer" | "net" -> balancer_request site
+      | f ->
+          fail "site %s (family %s) has no crash scenario — extend crash_matrix.ml"
+            site f)
 
 let () =
   let sites = List.map fst Fault.known_sites in

@@ -1,0 +1,761 @@
+(** Deterministic chaos engine (DESIGN.md §6c).
+
+    Two complementary halves:
+
+    - {!run}: execute one {!Schedule.t} against a live web-server fleet
+      — traffic, a rolling rollout, more traffic — arming each event off
+      its trigger, treating typed pipeline failures as clean refusals,
+      recovering from controller deaths, and finally checking the
+      {!Oracle} invariants once faults clear. Everything draws from
+      {!Rng} seeded by the schedule, so a run replays bit-for-bit.
+
+    - {!coverage_matrix}: a directed site × mode sweep — for every
+      registered fault site and every {!Fault.applicable_modes} mode, a
+      scenario that provably reaches the site, strikes it once, and
+      asserts the uniform contract: the site fired, every pid is
+      applied-XOR-unchanged, recovery converges, and the app serves.
+      This is the acceptance gate ci.sh enforces: no registered site may
+      have an unexercised applicable mode. *)
+
+let get = "GET /index.html HTTP/1.0\r\n\r\n"
+let put = "PUT /evil.html HTTP/1.0\r\n\r\nowned"
+
+let status resp =
+  match String.index_opt resp ' ' with
+  | Some k when String.length resp >= k + 4 -> String.sub resp (k + 1) 3
+  | _ -> "???"
+
+(* typed failures the engine treats as a clean refusal: the operation
+   was denied, nothing is half-done. Anything outside this domain is a
+   host bug and propagates. *)
+let refusal_of_exn : exn -> string option = function
+  | Fault.Injected { site; _ } -> Some (Printf.sprintf "injected at %s" site)
+  | Fault.Storage_error { site; kind } ->
+      Some (Printf.sprintf "%s at %s" (Fault.storage_kind_to_string kind) site)
+  | Journal.Busy { txid } -> Some (Printf.sprintf "journal busy (tx %d)" txid)
+  | Journal.Fenced { epoch; lock_epoch } ->
+      Some (Printf.sprintf "fenced (epoch %d, lock %d)" epoch lock_epoch)
+  | Dynacut.Dynacut_error m -> Some (Printf.sprintf "dynacut: %s" m)
+  | Validate.Validate_error m -> Some (Printf.sprintf "validate: %s" m)
+  | Restore.Restore_error m -> Some (Printf.sprintf "restore: %s" m)
+  | Net.Refused _ -> Some "connection refused"
+  | Net.Timed_out _ -> Some "connection timed out"
+  | Fleet.Fleet_error m -> Some (Printf.sprintf "fleet: %s" m)
+  | Balancer.Balancer_error m -> Some (Printf.sprintf "balancer: %s" m)
+  | _ -> None
+
+(* ---------- the fleet executor ---------- *)
+
+let lpolicy = { Dynacut.method_ = `First_byte; on_trap = `Redirect "ltpd_403" }
+let lblocks = lazy (Common.web_feature_blocks Workload.ltpd)
+
+(* the redirect symbol each web server exports for degraded requests *)
+let redirect_sym (app : Workload.app) =
+  match app.Workload.a_name with
+  | "ltpd" -> "ltpd_403"
+  | "ngx" -> "ngx_declined"
+  | n -> invalid_arg (Printf.sprintf "Chaos: no redirect symbol for %s" n)
+
+(* feature blocks per app, computed once — tracing is expensive *)
+let blocks_cache : (string, Covgraph.block list) Hashtbl.t = Hashtbl.create 4
+
+let blocks_for (app : Workload.app) =
+  match Hashtbl.find_opt blocks_cache app.Workload.a_name with
+  | Some b -> b
+  | None ->
+      let b = Common.web_feature_blocks app in
+      Hashtbl.add blocks_cache app.Workload.a_name b;
+      b
+
+type config = {
+  c_app : Workload.app;  (** target web server (ltpd | ngx) *)
+  c_workers : int;  (** fleet size *)
+  c_waves : int;  (** rollout waves *)
+  c_recover_budget : int;
+      (** liveness: cycles the fleet gets to serve again after faults
+          clear (recovery + probe) *)
+  c_goodput_floor : float;  (** liveness: post-fault goodput floor *)
+}
+
+let default_config =
+  {
+    c_app = Workload.ltpd;
+    c_workers = 4;
+    c_waves = 2;
+    c_recover_budget = 60_000_000;
+    c_goodput_floor = 0.5;
+  }
+
+type report = {
+  r_schedule : Schedule.t;
+  r_fired : (string * Fault.mode) list;  (** events that actually struck *)
+  r_notes : string list;  (** refusals, deaths, recoveries — the run trail *)
+  r_violations : Oracle.violation list;
+  r_recovery_cycles : int;  (** faults-clear to first served reply *)
+  r_goodput : float;  (** post-fault completed/offered *)
+}
+
+let passed r = r.r_violations = []
+
+(* a stable fingerprint of everything that matters: used to prove a
+   replayed schedule reproduces the run bit-for-bit *)
+let report_digest (r : report) : int64 =
+  Validate.checksum
+    (String.concat "|"
+       (Format.asprintf "%a" Schedule.pp r.r_schedule
+       :: Printf.sprintf "recovery=%d" r.r_recovery_cycles
+       :: Printf.sprintf "goodput=%.3f" r.r_goodput
+       :: List.map
+            (fun (s, m) -> Printf.sprintf "%s:%s" s (Fault.mode_to_string m))
+            r.r_fired
+       @ r.r_notes
+       @ List.map (Format.asprintf "%a" Oracle.pp_violation) r.r_violations))
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "schedule %a@ fired=[%s]@ %s"
+    Schedule.pp r.r_schedule
+    (String.concat ";"
+       (List.map
+          (fun (s, m) -> Printf.sprintf "%s:%s" s (Fault.mode_to_string m))
+          r.r_fired))
+    (if passed r then "PASS"
+     else
+       String.concat "; "
+         (List.map (Format.asprintf "%a" Oracle.pp_violation) r.r_violations))
+
+(* per-event trigger state: armed/fired bookkeeping between slices *)
+type ev_state = {
+  es_event : Schedule.event;
+  mutable es_armed : bool;
+  mutable es_done : bool;
+  es_base_fired : int;  (** [Fault.fired] at arm time *)
+}
+
+(** Run one schedule against a fresh [config.c_app] fleet (ltpd by
+    default). [extra_oracle] lets a
+    test add a deliberately broken invariant (the shrinker demo). *)
+let run ?(config = default_config)
+    ?(extra_oracle : (Oracle.ctx -> Oracle.violation list) option)
+    (sched : Schedule.t) : report =
+  Fault.reset ();
+  Fault.seed sched.Schedule.sc_seed;
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let violations = ref [] in
+  let app = config.c_app in
+  let sym = redirect_sym app in
+  let port =
+    match app.Workload.a_port with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Chaos: %s is not a server" app.Workload.a_name)
+  in
+  let blocks = blocks_for app in
+  let policy = { Dynacut.method_ = `First_byte; on_trap = `Redirect sym } in
+  (* boot happens clean: chaos starts once the fleet is ready *)
+  let ctxs =
+    Workload.spawn_fleet ~seed:sched.Schedule.sc_seed ~n:config.c_workers app
+  in
+  Workload.wait_fleet_ready ctxs;
+  let m = (List.hd ctxs).Workload.m in
+  let pids = List.map (fun c -> c.Workload.pid) ctxs in
+  let fleet = Fleet.create m ~port ~pids ~blocks ~policy in
+  let w = List.hd (Fleet.workers fleet) in
+  let effective = Dynacut.redirect_filter w.Rollout.w_session ~sym blocks in
+  let oracle =
+    {
+      Oracle.oc_machine = m;
+      oc_pids = pids;
+      oc_base = (Common.app_exe app).Self.base;
+      oc_blocks = effective;
+      oc_originals =
+        List.map
+          (fun (b : Covgraph.block) ->
+            Mem.peek8
+              (Machine.proc_exn m (List.hd pids)).Proc.mem
+              (Int64.add (Common.app_exe app).Self.base
+                 (Int64.of_int b.Covgraph.b_off)))
+          effective;
+    }
+  in
+  let t0 = m.Machine.clock in
+  (* arm nth-occurrence events relative to now; windows arm in tick *)
+  let states =
+    List.map
+      (fun (e : Schedule.event) ->
+        (match e.Schedule.ev_trigger with
+        | Schedule.Nth n ->
+            Fault.arm_mode e.Schedule.ev_site
+              (Fault.On_nth (Fault.hits e.Schedule.ev_site + n))
+              e.Schedule.ev_mode
+        | Schedule.Window _ -> ());
+        {
+          es_event = e;
+          es_armed = (match e.Schedule.ev_trigger with Schedule.Nth _ -> true | _ -> false);
+          es_done = false;
+          es_base_fired = Fault.fired e.Schedule.ev_site;
+        })
+      sched.Schedule.sc_events
+  in
+  let tick () =
+    let now = Int64.to_int (Int64.sub m.Machine.clock t0) in
+    List.iter
+      (fun es ->
+        if not es.es_done then begin
+          let site = es.es_event.Schedule.ev_site in
+          if Fault.fired site > es.es_base_fired then es.es_done <- true
+          else
+            match es.es_event.Schedule.ev_trigger with
+            | Schedule.Nth _ -> ()
+            | Schedule.Window (a, b) ->
+                if (not es.es_armed) && now >= a && now < b then begin
+                  Fault.arm_mode site Fault.One_shot es.es_event.Schedule.ev_mode;
+                  es.es_armed <- true
+                end
+                else if es.es_armed && now >= b then begin
+                  Fault.disarm site;
+                  es.es_armed <- false;
+                  es.es_done <- true
+                end
+        end)
+      states
+  in
+  (* controller deaths hand the fleet to a fresh recovery pass — with
+     the surviving events still armed, so a second fault can strike the
+     recovery itself. Events are one-shot, so this converges. *)
+  let rec attempt_recover tries =
+    if tries = 0 then
+      violations :=
+        Oracle.violation "recovery-stuck" "recovery did not converge"
+        :: !violations
+    else
+      match Fleet.recover m ~pids with
+      | (_ : Fleet.recovery) -> ()
+      | exception Fault.Controller_killed { site } ->
+          note "recovery died at %s" site;
+          attempt_recover (tries - 1)
+      | exception e -> (
+          match refusal_of_exn e with
+          | Some msg ->
+              note "recovery refused: %s" msg;
+              attempt_recover (tries - 1)
+          | None -> raise e)
+  in
+  let request label =
+    tick ();
+    (match Fleet.request fleet get with
+    | `Reply (pid, resp) -> note "%s: pid %d answered %s" label pid (status resp)
+    | `Refused -> note "%s: refused" label
+    | `Shed -> note "%s: shed" label
+    | `Timed_out pid -> note "%s: timed out on pid %d" label pid
+    | exception Fault.Controller_killed { site } ->
+        note "%s: controller died at %s" label site;
+        attempt_recover 6
+    | exception e -> (
+        match refusal_of_exn e with
+        | Some msg -> note "%s: %s" label msg
+        | None -> raise e));
+    tick ()
+  in
+  (* phase 1: pre-rollout traffic (dispatch/serve sites in play) *)
+  for i = 1 to 4 do
+    request (Printf.sprintf "pre.%d" i)
+  done;
+  (* phase 2: the rolling rollout (cut-path + manifest sites in play) *)
+  tick ();
+  let rollout_config =
+    Rollout.
+      {
+        r_waves = config.c_waves;
+        r_sup = { Supervisor.default_config with Supervisor.canary_windows = 1 };
+      }
+  in
+  let drive () =
+    match Fleet.request fleet get with
+    | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]) ->
+        ()
+    | exception e when refusal_of_exn e <> None -> ()
+  in
+  (match Fleet.rollout fleet ~config:rollout_config ~drive () with
+  | outcome, _ -> note "rollout: %s" (Format.asprintf "%a" Rollout.pp_outcome outcome)
+  | exception Fault.Controller_killed { site } ->
+      note "rollout: controller died at %s" site;
+      attempt_recover 6
+  | exception e -> (
+      match refusal_of_exn e with
+      | Some msg -> note "rollout: %s" msg
+      | None -> raise e));
+  tick ();
+  (* phase 3: post-rollout traffic (windows keep opening/closing) *)
+  for i = 1 to 6 do
+    request (Printf.sprintf "post.%d" i)
+  done;
+  (* phase 4: clear every fault, then recover to a uniform fleet *)
+  note "faults cleared at +%d cycles"
+    (Int64.to_int (Int64.sub m.Machine.clock t0));
+  List.iter (fun es -> es.es_done <- true) states;
+  Fault.disarm_all ();
+  let recovery =
+    match Fleet.recover m ~pids with
+    | r -> r
+    | exception e -> (
+        (match refusal_of_exn e with
+        | Some msg -> note "final recovery refused: %s" msg
+        | None -> raise e);
+        Fleet.recover m ~pids)
+  in
+  (* safety oracles *)
+  violations := Oracle.check_xor oracle @ !violations;
+  violations :=
+    Oracle.check_waves oracle
+      ~plan:(Rollout.plan ~pids ~waves:config.c_waves)
+      ~recovery
+    @ !violations;
+  violations := Oracle.check_recover_idempotent oracle @ !violations;
+  (match extra_oracle with
+  | Some f -> violations := f oracle @ !violations
+  | None -> ());
+  (* liveness: the fleet must serve again within the budget *)
+  let probe_start = m.Machine.clock in
+  let rec probe k =
+    if k = 0 then None
+    else
+      match Fleet.request fleet get with
+      | `Reply (_, resp) when status resp = "200" ->
+          Some (Int64.to_int (Int64.sub m.Machine.clock probe_start))
+      | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ])
+        ->
+          probe (k - 1)
+      | exception e when refusal_of_exn e <> None -> probe (k - 1)
+  in
+  let recovery_cycles =
+    match probe 8 with
+    | Some c ->
+        if c > config.c_recover_budget then
+          violations :=
+            Oracle.violation "liveness-budget"
+              "served after %d cycles (budget %d)" c config.c_recover_budget
+            :: !violations;
+        c
+    | None ->
+        violations :=
+          Oracle.violation "liveness-serving"
+            "fleet never served again after faults cleared"
+          :: !violations;
+        config.c_recover_budget
+  in
+  (* liveness: goodput back over the floor, and nothing silently lost *)
+  let stats =
+    Fleet.overload fleet
+      {
+        Loadgen.default_config with
+        Loadgen.lg_seed = sched.Schedule.sc_seed;
+        lg_requests = 30;
+        lg_offered = 40.;
+        lg_max_cycles = 60_000_000;
+      }
+      ~text:get
+  in
+  violations := Oracle.check_accounting stats @ !violations;
+  violations :=
+    Oracle.check_goodput ~floor:config.c_goodput_floor stats @ !violations;
+  let goodput =
+    float_of_int stats.Loadgen.s_completed
+    /. float_of_int (max 1 stats.Loadgen.s_offered)
+  in
+  {
+    r_schedule = sched;
+    r_fired =
+      List.filter_map
+        (fun es ->
+          if Fault.fired es.es_event.Schedule.ev_site > es.es_base_fired then
+            Some (es.es_event.Schedule.ev_site, es.es_event.Schedule.ev_mode)
+          else None)
+        states;
+    r_notes = List.rev !notes;
+    r_violations = List.rev !violations;
+    r_recovery_cycles = recovery_cycles;
+    r_goodput = goodput;
+  }
+
+(* ---------- directed site × mode coverage ---------- *)
+
+exception Probe_failure of string
+
+let failp fmt = Printf.ksprintf (fun s -> raise (Probe_failure s)) fmt
+
+(* strike: run [op] with (site, mode) armed one-shot. [`Completed] when
+   the operation returned, [`Refused] on a typed clean refusal,
+   [`Killed] on controller death. The site must have fired. *)
+let strike site mode (op : unit -> unit) =
+  Fault.arm_mode site Fault.One_shot mode;
+  let outcome =
+    match op () with
+    | () -> `Completed
+    | exception Fault.Controller_killed _ -> `Killed
+    | exception e -> (
+        match refusal_of_exn e with
+        | Some msg -> `Refused msg
+        | None -> raise e)
+  in
+  if Fault.fired site = 0 then failp "site never fired";
+  (* a delay is a gray failure: slow, never wrong *)
+  (match (mode, outcome) with
+  | Fault.Delay _, `Refused msg -> failp "delay refused the operation: %s" msg
+  | Fault.Delay _, `Killed -> failp "delay killed the controller"
+  | _ -> ());
+  outcome
+
+(* -- single-tree probes (ngx master/worker) -- *)
+
+let napp = Workload.ngx
+let nblocks = lazy (Common.web_feature_blocks napp)
+let npolicy method_ = { Dynacut.method_; on_trap = `Redirect "ngx_declined" }
+
+let nboot () =
+  let c = Workload.spawn napp in
+  Workload.wait_ready c;
+  c
+
+let tree_byte (c : Workload.ctx) pid (b : Covgraph.block) =
+  Mem.peek8
+    (Machine.proc_exn c.Workload.m pid).Proc.mem
+    (Int64.add (Common.app_exe napp).Self.base (Int64.of_int b.Covgraph.b_off))
+
+let assert_tree_xor ~what c session effective originals =
+  List.iter
+    (fun pid ->
+      let got = List.map (tree_byte c pid) effective in
+      if not (List.for_all (fun x -> x = 0xCC) got || got = originals) then
+        failp "%s: pid %d is half-patched" what pid)
+    (Dynacut.tree_pids session)
+
+let assert_tree_serving ~what c =
+  let s = status (Workload.rpc c get) in
+  if s <> "200" then failp "%s: GET answered %s, not 200" what s
+
+let tree_setup () =
+  let c = nboot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" (Lazy.force nblocks)
+  in
+  let originals = List.map (tree_byte c c.Workload.pid) effective in
+  (c, session, effective, originals)
+
+let tree_finish c session effective originals =
+  let (_ : Dynacut.recovery) =
+    Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid
+  in
+  assert_tree_xor ~what:"after recover" c session effective originals;
+  assert_tree_serving ~what:"after recover" c
+
+(* fault strikes the cut transaction itself *)
+let tree_probe ?(method_ = `First_byte) ?(tcp = false) site mode =
+  let c, session, effective, originals = tree_setup () in
+  let in_flight =
+    if tcp then begin
+      (* park a connection in the server so restore has TCP state to
+         repair (the server blocks in recv on it across the cut) *)
+      let conn = Net.connect c.Workload.m.Machine.net Ngx.port in
+      ignore (Machine.run c.Workload.m ~max_cycles:500_000);
+      Some conn
+    end
+    else None
+  in
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        ignore
+          (Dynacut.try_cut session ~blocks:(Lazy.force nblocks)
+             ~policy:(npolicy method_) ()))
+  in
+  let (_ : Dynacut.recovery) =
+    Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid
+  in
+  (* the repaired mid-cut connection must answer — an accepted request
+     is never silently dropped, whichever way the fault went *)
+  (match in_flight with
+  | None -> ()
+  | Some conn ->
+      Net.client_send conn get;
+      ignore (Machine.run c.Workload.m ~max_cycles:2_000_000);
+      let s = status (Net.client_recv conn) in
+      if s <> "200" then failp "in-flight request answered %s after recover" s);
+  assert_tree_xor ~what:"after recover" c session effective originals;
+  assert_tree_serving ~what:"after recover" c
+
+(* fault strikes a journaled respawn of a reaped worker *)
+let respawn_probe site mode =
+  let c, session, effective, originals = tree_setup () in
+  let (_ : Rewriter.journal list * Dynacut.timings) =
+    Dynacut.cut session ~blocks:(Lazy.force nblocks) ~policy:(npolicy `First_byte)
+  in
+  let worker =
+    match Dynacut.tree_pids session with
+    | _root :: w :: _ -> w
+    | _ -> failp "ngx tree has no worker"
+  in
+  Machine.reap c.Workload.m ~pid:worker;
+  let respawn () =
+    ignore
+      (Dynacut.journaled_respawn session ~pid:worker
+         ~path:(Dynacut.image_path session worker))
+  in
+  (match strike site mode respawn with
+  | `Completed | `Killed -> ()
+  | `Refused _ ->
+      (* a refused respawn closes its own journal intent — the worker is
+         legitimately still dead, and the supervisor's contract is to
+         retry next tick. Do that retry (the one-shot fault is spent). *)
+      respawn ());
+  tree_finish c session effective originals
+
+(* fault strikes the canary's fleet promotion *)
+let promote_probe site mode =
+  let c, session, effective, originals = tree_setup () in
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.canary_windows = 1 }
+      ~blocks:(Lazy.force nblocks) ~policy:(npolicy `First_byte)
+  in
+  let drive () = ignore (Workload.rpc ~max_cycles:800_000 c get) in
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        ignore (Supervisor.guarded_cut sup ~canary:true ~drive ()))
+  in
+  tree_finish c session effective originals
+
+(* fault strikes the breaker's automatic re-enable *)
+let reenable_probe site mode =
+  let c, session, effective, originals = tree_setup () in
+  let sup =
+    Supervisor.create session
+      ~config:{ Supervisor.default_config with Supervisor.critical = true }
+      ~blocks:(Lazy.force nblocks) ~policy:(npolicy `First_byte)
+  in
+  let drive () = ignore (Workload.rpc ~max_cycles:800_000 c get) in
+  (match Supervisor.guarded_cut sup ~canary:false ~drive () with
+  | Supervisor.R_promoted -> ()
+  | r -> failp "setup rollout failed: %s" (Format.asprintf "%a" Supervisor.pp_rollout r));
+  ignore (Workload.rpc ~max_cycles:800_000 c put);
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () -> Supervisor.tick sup)
+  in
+  tree_finish c session effective originals
+
+(* fault strikes the crit image/text round trip — no transaction open *)
+let crit_probe site mode =
+  let c, session, effective, originals = tree_setup () in
+  Machine.freeze c.Workload.m ~pid:c.Workload.pid;
+  let img = Checkpoint.dump c.Workload.m ~pid:c.Workload.pid () in
+  Machine.thaw c.Workload.m ~pid:c.Workload.pid;
+  let blob = Images.encode img in
+  let text = Crit.decode_to_text blob in
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        if site = "crit.decode" then ignore (Crit.decode_to_text blob)
+        else ignore (Crit.encode_from_text text))
+  in
+  tree_finish c session effective originals
+
+(* fault strikes the recovery pass replaying a controller death *)
+let recover_probe site mode =
+  let c, session, effective, originals = tree_setup () in
+  Fault.arm ~kill:true "restore.process" Fault.One_shot;
+  (match
+     Dynacut.try_cut session ~blocks:(Lazy.force nblocks)
+       ~policy:(npolicy `First_byte) ()
+   with
+  | (_ : Dynacut.cut_result) -> failp "staged controller death never struck"
+  | exception Fault.Controller_killed _ -> ());
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        ignore (Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid))
+  in
+  tree_finish c session effective originals
+
+(* -- fleet probes (ltpd workers) -- *)
+
+let fleet_setup ?balancer ?(traced = false) ~n () =
+  let ctxs = Workload.spawn_fleet ~traced ~n Workload.ltpd in
+  Workload.wait_fleet_ready ctxs;
+  let m = (List.hd ctxs).Workload.m in
+  let pids = List.map (fun c -> c.Workload.pid) ctxs in
+  let fleet =
+    Fleet.create ?balancer m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
+      ~policy:lpolicy
+  in
+  let w = List.hd (Fleet.workers fleet) in
+  let effective =
+    Dynacut.redirect_filter w.Rollout.w_session ~sym:"ltpd_403"
+      (Lazy.force lblocks)
+  in
+  let oracle =
+    {
+      Oracle.oc_machine = m;
+      oc_pids = pids;
+      oc_base = (Common.app_exe Workload.ltpd).Self.base;
+      oc_blocks = effective;
+      oc_originals =
+        List.map
+          (fun (b : Covgraph.block) ->
+            Mem.peek8
+              (Machine.proc_exn m (List.hd pids)).Proc.mem
+              (Int64.add (Common.app_exe Workload.ltpd).Self.base
+                 (Int64.of_int b.Covgraph.b_off)))
+          effective;
+    }
+  in
+  (ctxs, m, pids, fleet, oracle)
+
+let fleet_finish m pids oracle ~plan ~serving_fleet =
+  let recovery =
+    match Fleet.recover m ~pids with
+    | r -> r
+    | exception Fault.Controller_killed _ -> Fleet.recover m ~pids
+  in
+  List.iter
+    (fun (v : Oracle.violation) ->
+      failp "%s" (Format.asprintf "%a" Oracle.pp_violation v))
+    (Oracle.check_xor oracle
+    @ Oracle.check_waves oracle ~plan ~recovery
+    @ Oracle.check_recover_idempotent oracle);
+  match Fleet.request serving_fleet get with
+  | `Reply (_, resp) ->
+      let s = status resp in
+      if s <> "200" then failp "after recover: GET answered %s, not 200" s
+  | `Refused | `Shed | `Timed_out _ -> failp "after recover: fleet refused a GET"
+
+(* fault strikes the rolling rollout (waves, manifest) *)
+let fleet_rollout_probe site mode =
+  let _ctxs, m, pids, fleet, oracle = fleet_setup ~n:4 () in
+  let drive () =
+    match Fleet.request fleet get with
+    | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]) ->
+        ()
+    | exception e when refusal_of_exn e <> None -> ()
+  in
+  let config =
+    Rollout.
+      {
+        r_waves = 2;
+        r_sup = { Supervisor.default_config with Supervisor.canary_windows = 1 };
+      }
+  in
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        ignore (Fleet.rollout fleet ~config ~drive ()))
+  in
+  fleet_finish m pids oracle ~plan:(Rollout.plan ~pids ~waves:2)
+    ~serving_fleet:fleet
+
+(* fault strikes one dispatched request (balancer / net sites) *)
+let fleet_request_probe site mode =
+  let _ctxs, m, pids, fleet, oracle = fleet_setup ~n:2 () in
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () -> ignore (Fleet.request fleet get))
+  in
+  fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
+
+(* fault strikes the shed path: watermark zero sheds the first dispatch *)
+let fleet_shed_probe site mode =
+  let shed_now =
+    {
+      (Balancer.default_config ~workers:2) with
+      Balancer.b_shed_high = 0;
+      b_shed_low = -1;
+    }
+  in
+  let _ctxs, m, pids, fleet, oracle = fleet_setup ~balancer:shed_now ~n:2 () in
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () -> ignore (Fleet.request fleet get))
+  in
+  (* rebuild with sane watermarks for the serving check *)
+  let fleet' =
+    Fleet.create m ~port:Ltpd.port ~pids ~blocks:(Lazy.force lblocks)
+      ~policy:lpolicy
+  in
+  fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet'
+
+(* fault strikes the drift monitor's fleet-wide re-enable *)
+let fleet_reenable_probe site mode =
+  let ctxs, m, pids, fleet, oracle = fleet_setup ~traced:true ~n:4 () in
+  let drive () =
+    match Fleet.request fleet get with
+    | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]) ->
+        ()
+    | exception e when refusal_of_exn e <> None -> ()
+  in
+  let config =
+    Rollout.
+      {
+        r_waves = 2;
+        r_sup = { Supervisor.default_config with Supervisor.canary_windows = 1 };
+      }
+  in
+  (match Fleet.rollout fleet ~config ~drive () with
+  | Rollout.Completed _, _ -> ()
+  | o, _ -> failp "setup rollout failed: %s" (Format.asprintf "%a" Rollout.pp_outcome o));
+  Fleet.start_drift fleet ~collector:(Workload.collector (List.hd ctxs)) ();
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        ignore (Drift.reenable_fleet (Fleet.drift_monitor fleet) ~traps:99))
+  in
+  fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
+
+(* fault strikes the drift monitor's automatic re-cut *)
+let fleet_recut_probe site mode =
+  let ctxs, m, pids, fleet, oracle = fleet_setup ~traced:true ~n:2 () in
+  Fleet.start_drift fleet ~collector:(Workload.collector (List.hd ctxs)) ();
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        ignore (Drift.recut_fleet (Fleet.drift_monitor fleet)))
+  in
+  fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
+
+(* every registered site maps to the scenario that provably reaches it;
+   a site without a driver fails the matrix rather than shrinking it *)
+let probe_driver (site : string) : Fault.mode -> unit =
+  match site with
+  | "criu.checkpoint" | "criu.save" | "criu.load" | "rewrite.patch"
+  | "inject.lib" | "inject.policy" | "restore.process" | "journal.lock"
+  | "journal.append" ->
+      tree_probe site
+  | "rewrite.unmap" -> tree_probe ~method_:`Unmap_pages site
+  | "restore.tcp_repair" -> tree_probe ~tcp:true site
+  | "restore.respawn" -> respawn_probe site
+  | "supervisor.promote" -> promote_probe site
+  | "supervisor.reenable" -> reenable_probe site
+  | "crit.encode" | "crit.decode" -> crit_probe site
+  | "recover.replay" -> recover_probe site
+  | "fleet.wave" | "fleet.manifest" -> fleet_rollout_probe site
+  | "fleet.reenable" -> fleet_reenable_probe site
+  | "fleet.recut" -> fleet_recut_probe site
+  | "balancer.dispatch" | "balancer.health" | "net.accept_queue"
+  | "net.serve" ->
+      fleet_request_probe site
+  | "fleet.shed" -> fleet_shed_probe site
+  | s -> fun _ -> failp "site %s has no chaos probe — extend Chaos.probe_driver" s
+
+type probe = {
+  p_site : string;
+  p_mode : Fault.mode;
+  p_ok : bool;
+  p_detail : string;  (** empty when ok *)
+}
+
+(** The directed sweep: every registered site in every applicable mode.
+    [sites] defaults to the full registry. *)
+let coverage_matrix ?(sites = List.map fst Fault.known_sites) () : probe list =
+  List.concat_map
+    (fun site ->
+      List.map
+        (fun mode ->
+          Fault.reset ();
+          match probe_driver site mode with
+          | () -> { p_site = site; p_mode = mode; p_ok = true; p_detail = "" }
+          | exception Probe_failure msg ->
+              { p_site = site; p_mode = mode; p_ok = false; p_detail = msg })
+        (Fault.applicable_modes site))
+    sites

@@ -1,0 +1,64 @@
+(** Delta-debugging schedule shrinker (DESIGN.md §6c).
+
+    Given a schedule whose run violates an invariant, [minimize] finds a
+    1-minimal sub-schedule that still violates it: classic ddmin over
+    the event list — drop complement chunks at increasing granularity,
+    then verify no single event can be removed. The seed never changes,
+    so every candidate replays the same virtual world and the final
+    repro ({!Schedule.to_replay}) reproduces the failure from the seed
+    alone. *)
+
+(* split [l] into [n] chunks of near-equal length, in order *)
+let chunks n l =
+  let len = List.length l in
+  let size = max 1 ((len + n - 1) / n) in
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+let complements cs =
+  List.mapi (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) cs)) cs
+
+(** ddmin: smallest event subset (same seed) for which [failing] still
+    holds. [failing] must hold for [s] itself — the caller found a
+    violating run; we only make it smaller. Runs the schedule
+    O(k²) times in the worst case (k = event count). *)
+let minimize ~(failing : Schedule.t -> bool) (s : Schedule.t) : Schedule.t =
+  let with_events evs = { s with Schedule.sc_events = evs } in
+  let rec ddmin events n =
+    let len = List.length events in
+    if len <= 1 then events
+    else begin
+      let cs = chunks n events in
+      (* a single chunk that still fails: recurse into it *)
+      match List.find_opt (fun c -> failing (with_events c)) cs with
+      | Some c -> ddmin c 2
+      | None -> (
+          (* a complement that still fails: drop the chunk *)
+          match
+            List.find_opt (fun c -> failing (with_events c)) (complements cs)
+          with
+          | Some c -> ddmin c (max 2 (n - 1))
+          | None ->
+              if n >= len then events else ddmin events (min len (2 * n)))
+    end
+  in
+  let minimal = ddmin s.Schedule.sc_events 2 in
+  (* 1-minimality: removing any single remaining event must pass *)
+  let rec prune evs =
+    let removable =
+      List.find_opt
+        (fun e ->
+          List.length evs > 1
+          && failing (with_events (List.filter (fun x -> x <> e) evs)))
+        evs
+    in
+    match removable with
+    | Some e -> prune (List.filter (fun x -> x <> e) evs)
+    | None -> evs
+  in
+  with_events (prune minimal)

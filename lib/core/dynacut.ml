@@ -398,15 +398,17 @@ exception Stage_failed of string * exn
 let guard stage f =
   try f ()
   with
-  | ( Fault.Injected _ | Dynacut_error _ | Rewriter.Rewrite_error _
-    | Inject.Inject_error _ | Restore.Restore_error _
-    | Validate.Validate_error _ | Images.Format_error _ | Invalid_argument _
-    | Not_found ) as e
+  | ( Fault.Injected _ | Fault.Storage_error _ | Dynacut_error _
+    | Rewriter.Rewrite_error _ | Inject.Inject_error _
+    | Restore.Restore_error _ | Validate.Validate_error _
+    | Images.Format_error _ | Invalid_argument _ | Not_found ) as e
   ->
     raise (Stage_failed (stage, e))
 
 let describe_exn = function
   | Fault.Injected { site; _ } -> Printf.sprintf "injected fault at %s" site
+  | Fault.Storage_error { site; kind } ->
+      Printf.sprintf "storage error (%s) at %s" (Fault.storage_kind_to_string kind) site
   | Dynacut_error e -> e
   | Rewriter.Rewrite_error e -> "rewrite: " ^ e
   | Inject.Inject_error e -> "inject: " ^ e

@@ -182,7 +182,7 @@ let write_lock (t : t) ~(epoch : int) : unit =
   let open Bytesx.W in
   let b = create ~size:16 () in
   int_as_u64 b epoch;
-  Vfs.add t.fs (lock_path t) (Validate.seal (contents b))
+  Vfs.add t.fs (lock_path t) (Validate.seal_at ~site:"journal.lock" (contents b))
 
 (** Take (or refresh) the lock for [epoch]; raises {!Fenced} when a
     newer epoch already holds it. *)
@@ -202,7 +202,8 @@ let append (t : t) ~(epoch : int) (r : record) : unit =
   let held = lock_epoch t in
   if held <> epoch then raise (Fenced { epoch; lock_epoch = held });
   let prev = Option.value ~default:"" (Vfs.find t.fs (journal_path t)) in
-  Vfs.add t.fs (journal_path t) (prev ^ Validate.seal (encode_record r));
+  Vfs.add t.fs (journal_path t)
+    (prev ^ Validate.seal_at ~site:"journal.append" (encode_record r));
   Obs.event ~kind:"journal" (Format.asprintf "%a" pp_record r)
 
 (** Remove the journal file only (recovery keeps its bumped lock behind
@@ -375,9 +376,12 @@ module Manifest = struct
           (match halted with Some w -> string_of_int w | None -> "-")
           done_
 
+  (** Append one sealed entry. Fault site [fleet.manifest] — a storage
+      write like [Journal.append], with the same corruption point. *)
   let append (t : t) (e : entry) : unit =
+    Fault.site "fleet.manifest";
     let prev = Option.value ~default:"" (Vfs.find t.fs t.path) in
-    Vfs.add t.fs t.path (prev ^ Validate.seal (encode_entry e));
+    Vfs.add t.fs t.path (prev ^ Validate.seal_at ~site:"fleet.manifest" (encode_entry e));
     Obs.event ~kind:"manifest" (Format.asprintf "%a" pp_entry e)
 
   (** Longest valid prefix + torn flag; never raises. *)

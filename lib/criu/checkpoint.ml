@@ -155,5 +155,7 @@ let save_to_tmpfs (m : Machine.t) ~(dir : string) (img : Images.t) : string =
   Fault.site "criu.save";
   let path = Printf.sprintf "%s/dump-%d.img" dir img.Images.core.Images.c_pid in
   let blob = Obs.with_span "crit" (fun () -> Validate.encode_sealed img) in
-  Vfs.add m.Machine.fs path blob;
+  (* corrupt-mode chaos faults mangle the working image here; the
+     pristine rollback anchor is written elsewhere, outside this site *)
+  Vfs.add m.Machine.fs path (Fault.corruptible "criu.save" blob);
   path

@@ -182,6 +182,15 @@ let unseal_frames (blob : string) : string list * bool =
   in
   go [] 0
 
+(** Seal [payload] for writing at fault site [site]: an armed
+    [Fault.Corrupt] fault mangles the sealed frame on the way out (a
+    seeded bit-flip or truncation, so {!unseal}/{!unseal_frames} must
+    catch it at read time); the write-blocking modes (fail, kill,
+    enospc, eio) were already evaluated by the site's [Fault.site] call.
+    Every storage write in [Journal] goes through here. *)
+let seal_at ~(site : string) (payload : string) : string =
+  Fault.corruptible site (seal payload)
+
 (** [seal (Images.encode img)]. *)
 let encode_sealed (img : Images.t) : string = seal (Images.encode img)
 

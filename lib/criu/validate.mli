@@ -26,6 +26,12 @@ val unseal_frames : string -> string list * bool
     Never raises: a crash can tear the last frame, and the prefix is
     exactly what recovery needs. *)
 
+val seal_at : site:string -> string -> string
+(** [seal], then pass the sealed frame through [Fault.corruptible site]:
+    a [Fault.Corrupt] fault armed at [site] mangles the frame on the way
+    to storage (seeded bit-flip or truncation), exercising the checksum
+    detection end-to-end. Identity sealing otherwise. *)
+
 val encode_sealed : Images.t -> string
 (** [seal (Images.encode img)]. *)
 

@@ -29,6 +29,15 @@ type config = {
       (** start shedding once aggregate in-flight reaches this *)
   b_shed_low : int;  (** stop shedding at or below this (hysteresis) *)
   b_decision_cap : int;  (** decision-log bound *)
+  b_lat_alpha : float;  (** weight of the newest response-latency sample *)
+  b_straggler_factor : float;
+      (** skip a worker whose latency EWMA exceeds this multiple of the
+          fleet's best (gray failure: slow is as bad as down) *)
+  b_straggler_min : int;
+      (** latency samples required before the straggler test applies *)
+  b_straggler_decay : float;
+      (** per-decision decay of a skipped straggler's EWMA toward the
+          baseline, so it rejoins once the slowness clears *)
 }
 
 let default_config ~(workers : int) =
@@ -38,6 +47,10 @@ let default_config ~(workers : int) =
     b_shed_high = 4 * max 1 workers;
     b_shed_low = 2 * max 1 workers;
     b_decision_cap = 512;
+    b_lat_alpha = 0.3;
+    b_straggler_factor = 3.;
+    b_straggler_min = 3;
+    b_straggler_decay = 0.9;
   }
 
 (** Why a worker was passed over for one dispatch. *)
@@ -48,6 +61,9 @@ type skip =
   | Breaker_open
   | Backlog_full
   | Half_open_hold  (** half-open breaker: one probe already in flight *)
+  | Straggler
+      (** response-latency EWMA over [b_straggler_factor] × the fleet's
+          best: a gray-failing worker sheds dispatches like a frozen one *)
 
 let skip_to_string = function
   | Dead -> "dead"
@@ -56,6 +72,7 @@ let skip_to_string = function
   | Breaker_open -> "breaker-open"
   | Backlog_full -> "backlog-full"
   | Half_open_hold -> "half-open-hold"
+  | Straggler -> "straggler"
 
 type verdict =
   | Dispatched of int  (** chosen worker pid *)
@@ -85,6 +102,11 @@ type health = {
   mutable h_ewma : float;  (** EWMA of in-flight, sampled per dispatch *)
   mutable h_inflight : int;  (** dispatched, not yet completed *)
   mutable h_dispatched : int;  (** cumulative, the tie-breaker *)
+  mutable h_lat_ewma : float;
+      (** EWMA of response latency in cycles, sampled at {!poll}
+          resolution (replies and timeouts — a timeout is a censored
+          sample at the full deadline, exactly what a straggler emits) *)
+  mutable h_lat_samples : int;  (** latency samples folded in so far *)
 }
 
 type t = {
@@ -120,7 +142,14 @@ let create ?config (machine : Machine.t) ~(port : int) ~(workers : int list) :
   let health = Hashtbl.create 8 in
   List.iter
     (fun pid ->
-      Hashtbl.replace health pid { h_ewma = 0.; h_inflight = 0; h_dispatched = 0 })
+      Hashtbl.replace health pid
+        {
+          h_ewma = 0.;
+          h_inflight = 0;
+          h_dispatched = 0;
+          h_lat_ewma = 0.;
+          h_lat_samples = 0;
+        })
     workers;
   {
     machine;
@@ -164,8 +193,40 @@ let health t ~pid =
   | None -> raise (Balancer_error (Printf.sprintf "pid %d is not a worker" pid))
 
 let ewma_inflight t ~pid = (health t ~pid).h_ewma
+let ewma_latency t ~pid = (health t ~pid).h_lat_ewma
 let inflight t = t.inflight
 let shedding t = t.shedding
+
+(* fold one response-latency observation into [pid]'s EWMA *)
+let note_latency t ~pid (cycles : float) =
+  match Hashtbl.find_opt t.health pid with
+  | None -> ()
+  | Some h ->
+      h.h_lat_samples <- h.h_lat_samples + 1;
+      h.h_lat_ewma <-
+        (if h.h_lat_samples = 1 then cycles
+         else
+           (t.cfg.b_lat_alpha *. cycles)
+           +. ((1. -. t.cfg.b_lat_alpha) *. h.h_lat_ewma));
+      Obs.set_gauge
+        (Obs.gauge ~labels:[ ("pid", string_of_int pid) ] "fleet.latency_ewma")
+        h.h_lat_ewma
+
+(* the fastest credible worker's latency EWMA, excluding [pid] itself —
+   the straggler test is relative, so a uniformly slow fleet (or a lone
+   worker) has no stragglers *)
+let lat_baseline t ~excluding =
+  List.fold_left
+    (fun acc pid ->
+      if pid = excluding then acc
+      else
+        let h = health t ~pid in
+        if h.h_lat_samples >= t.cfg.b_straggler_min then
+          match acc with
+          | None -> Some h.h_lat_ewma
+          | Some b -> Some (min b h.h_lat_ewma)
+        else acc)
+    None t.workers
 
 (** The decision log, oldest first (bounded at [b_decision_cap]). *)
 let decisions t = List.rev t.decisions
@@ -204,7 +265,7 @@ let breaker_code ~pid =
   int_of_float (Obs.gauge_value (Supervisor.breaker_gauge ~root_pid:pid))
 
 (* breaker_code: 0 Closed / 1 Open / 2 Half-open / 3 Abandoned *)
-let classify t ~pid : (Net.listener, skip) result =
+let classify t ~pid ~(baseline : float option) : (Net.listener, skip) result =
   let alive =
     match Machine.proc t.machine pid with
     | Some p -> if Proc.is_live p then Some p else None
@@ -219,16 +280,25 @@ let classify t ~pid : (Net.listener, skip) result =
         if not l.Net.accepting then Error Drained
         else
           let code = breaker_code ~pid in
+          let h = health t ~pid in
           if code = 1 || code = 3 then Error Breaker_open
-          else if code = 2 && (health t ~pid).h_inflight > 0 then
-            Error Half_open_hold
+          else if code = 2 && h.h_inflight > 0 then Error Half_open_hold
           else if Net.backlog_full l then Error Backlog_full
-          else Ok l
+          else
+            match baseline with
+            | Some b
+              when h.h_lat_samples >= t.cfg.b_straggler_min
+                   && h.h_lat_ewma > t.cfg.b_straggler_factor *. b ->
+                Error Straggler
+            | _ -> Ok l
 
 (** Health-score every worker and pick the least-loaded eligible one.
-    Score = EWMA(in-flight) + current accept-queue depth; ties go to the
-    worker with fewer cumulative dispatches, then lower pid. Fault site
-    [balancer.health]. *)
+    Score = EWMA(in-flight) + current accept-queue depth + relative
+    response-latency penalty (how many times slower than the fleet's
+    best — scale-free, so cycles never swamp queue depths); ties go to
+    the worker with fewer cumulative dispatches, then lower pid. A
+    worker past [b_straggler_factor] × the best latency is skipped
+    outright ({!Straggler}). Fault site [balancer.health]. *)
 let pick t : (int * Net.listener * (int * skip) list, (int * skip) list) result
     =
   Fault.site "balancer.health";
@@ -240,10 +310,33 @@ let pick t : (int * Net.listener * (int * skip) list, (int * skip) list) result
       h.h_ewma <-
         (t.cfg.b_ewma_alpha *. float_of_int h.h_inflight)
         +. ((1. -. t.cfg.b_ewma_alpha) *. h.h_ewma);
-      match classify t ~pid with
+      let baseline = lat_baseline t ~excluding:pid in
+      (* age stale slowness toward the fleet baseline on every decision
+         — a worker whose latency data says "slow" but which gets no
+         dispatches (skipped as a straggler, or merely outscored) would
+         otherwise never refresh that data and starve forever; fresh
+         slow samples re-raise the EWMA immediately *)
+      (match baseline with
+      | Some b
+        when h.h_lat_samples >= t.cfg.b_straggler_min && h.h_lat_ewma > b ->
+          let e = b +. ((h.h_lat_ewma -. b) *. t.cfg.b_straggler_decay) in
+          (* once the residual is inside noise, snap to the baseline so
+             the score tie-break (fewest dispatches) can reach the
+             worker again — an asymptotic decay never ties exactly *)
+          h.h_lat_ewma <- (if e -. b < 0.05 *. b then b else e)
+      | _ -> ());
+      match classify t ~pid ~baseline with
       | Error reason -> skipped := (pid, reason) :: !skipped
       | Ok l ->
-          let score = h.h_ewma +. float_of_int (Net.backlog_depth l) in
+          let lat_term =
+            match baseline with
+            | Some b when b > 0. && h.h_lat_samples > 0 ->
+                max 0. ((h.h_lat_ewma /. b) -. 1.)
+            | _ -> 0.
+          in
+          let score =
+            h.h_ewma +. float_of_int (Net.backlog_depth l) +. lat_term
+          in
           let better =
             match !best with
             | None -> true
@@ -341,11 +434,16 @@ let poll t (tk : ticket) :
     finish t tk;
     let cycles = Int64.sub t.machine.Machine.clock tk.tk_sent in
     Obs.observe (latency_hist ()) (Int64.to_float cycles);
+    note_latency t ~pid:tk.tk_pid (Int64.to_float cycles);
     `Reply (tk.tk_pid, Net.client_recv tk.tk_conn)
   end
   else if Net.expired tk.tk_conn ~now:t.machine.Machine.clock then begin
     finish t tk;
     Net.client_close tk.tk_conn;
+    (* a timeout is a censored latency sample at the full deadline —
+       stragglers mostly emit these, and they must count against them *)
+    note_latency t ~pid:tk.tk_pid
+      (Int64.to_float (Int64.sub t.machine.Machine.clock tk.tk_sent));
     Obs.incr (Obs.counter "fleet.timeouts");
     Obs.event ~kind:"balancer"
       (Printf.sprintf "timeout pid=%d conn=%d" tk.tk_pid

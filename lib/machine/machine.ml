@@ -60,6 +60,9 @@ let create ?(seed = 42) () =
      clock from here on (last machine created wins — scenarios build the
      machine under test last) *)
   Obs.set_clock (Some (fun () -> t.clock));
+  (* delay-mode faults ([Fault.Delay n]) charge their latency to this
+     machine's virtual clock — gray failures are slow, not wrong *)
+  Fault.set_delay_hook (Some (fun n -> t.clock <- Int64.add t.clock (Int64.of_int n)));
   t
 
 let proc t pid = Hashtbl.find_opt t.procs pid

@@ -189,9 +189,41 @@ let test_image_read_write_mem () =
   Images.write_mem img main_va before;
   Alcotest.(check bool) "restored" true (Bytes.equal before (Images.read_mem img main_va 4))
 
+(* unseal_frames edge cases: the journal reader must keep exactly the
+   valid prefix and flag everything else as a torn tail *)
+let test_unseal_frames_edges () =
+  (* empty file: no frames, not torn — a journal that was never written *)
+  let frames, torn = Validate.unseal_frames "" in
+  Alcotest.(check (list string)) "empty file has no frames" [] frames;
+  Alcotest.(check bool) "empty file is not torn" false torn;
+  (* duplicate frame: concatenation is dumb, both copies come back *)
+  let f = Validate.seal "payload-a" in
+  let frames, torn = Validate.unseal_frames (f ^ f) in
+  Alcotest.(check (list string))
+    "duplicate frame kept twice"
+    [ "payload-a"; "payload-a" ] frames;
+  Alcotest.(check bool) "duplicates are not torn" false torn;
+  (* garbage after a valid prefix: prefix kept, tail flagged torn *)
+  let frames, torn =
+    Validate.unseal_frames (f ^ Validate.seal "payload-b" ^ "garbage tail")
+  in
+  Alcotest.(check (list string))
+    "valid prefix survives garbage"
+    [ "payload-a"; "payload-b" ] frames;
+  Alcotest.(check bool) "garbage tail is torn" true torn;
+  (* a frame whose checksum lies also ends the prefix *)
+  let mangled = Bytes.of_string (Validate.seal "payload-c") in
+  Bytes.set mangled (Bytes.length mangled - 1) '\xFF';
+  let frames, torn = Validate.unseal_frames (f ^ Bytes.to_string mangled) in
+  Alcotest.(check (list string))
+    "checksum mismatch ends the prefix" [ "payload-a" ] frames;
+  Alcotest.(check bool) "mismatch is torn" true torn
+
 let suite =
   [
     Alcotest.test_case "dump/restore identity" `Quick test_dump_restore_identity;
+    Alcotest.test_case "unseal_frames edge cases" `Quick
+      test_unseal_frames_edges;
     Alcotest.test_case "binary codec roundtrip" `Quick test_binary_codec_roundtrip;
     Alcotest.test_case "CRIT text roundtrip" `Quick test_crit_text_roundtrip;
     Alcotest.test_case "CRIT mems listing" `Quick test_crit_show_mems;

@@ -412,11 +412,13 @@ let test_known_sites_registry () =
         "journal.append";
         "recover.replay";
         "fleet.wave";
+        "fleet.manifest";
         "fleet.reenable";
         "fleet.recut";
         "balancer.dispatch";
         "balancer.health";
         "net.accept_queue";
+        "net.serve";
         "fleet.shed";
       ]
   in

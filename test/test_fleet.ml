@@ -13,13 +13,16 @@ let lpolicy =
 let fleet_boot ?balancer ?(traced = false) ~n () =
   Obs.reset ();
   Fault.reset ();
+  (* force the tracing (which spawns throwaway machines) before the
+     fleet machine exists: Fault's delay hook follows the last machine
+     created, and it must point at the fleet *)
+  let blocks = Lazy.force lblocks in
   let ctxs = Workload.spawn_fleet ~traced ~n lapp in
   Workload.wait_fleet_ready ctxs;
   let m = (List.hd ctxs).Workload.m in
   let pids = List.map (fun c -> c.Workload.pid) ctxs in
   let fleet =
-    Fleet.create ?balancer m ~port:Ltpd.port ~pids
-      ~blocks:(Lazy.force lblocks) ~policy:lpolicy
+    Fleet.create ?balancer m ~port:Ltpd.port ~pids ~blocks ~policy:lpolicy
   in
   (ctxs, m, pids, fleet)
 
@@ -521,9 +524,61 @@ let test_route_after_reap_revive () =
   | `Reply (_, resp) -> Alcotest.(check string) "200" "200" (String.sub resp 9 3)
   | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
 
+(* gray failure: one worker answers — slowly. The latency EWMA health
+   term must starve it of dispatches while the storm lasts (skipped as
+   Straggler), then let the per-decision decay bring it back once the
+   slowness clears. *)
+let test_straggler_zero_dispatches () =
+  let _ctxs, _m, pids, fleet = fleet_boot ~n:3 () in
+  let slow = List.hd pids in
+  (* every serve by [slow] eats an extra 150k cycles — an order of
+     magnitude over the healthy round trip, well under any deadline *)
+  Fault.arm_mode ~scope:slow "net.serve" (Fault.Every_nth 1)
+    (Fault.Delay 150_000);
+  (* rotation is fair until everyone has enough latency samples for the
+     relative straggler test (b_straggler_min per worker) *)
+  for _ = 1 to 9 do
+    ignore (Fleet.request fleet lget)
+  done;
+  Alcotest.(check bool) "the slow worker accrued samples" true
+    (Balancer.dispatches ~pid:slow > 0);
+  Alcotest.(check bool) "its EWMA reflects the delay" true
+    (Balancer.ewma_latency (Fleet.balancer fleet) ~pid:slow > 100_000.);
+  (* storm detected: zero dispatches while it stays slow *)
+  let d0 = Balancer.dispatches ~pid:slow in
+  for _ = 1 to 6 do
+    match Fleet.request fleet lget with
+    | `Reply (pid, _) ->
+        Alcotest.(check bool) "never the straggler" true (pid <> slow)
+    | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
+  done;
+  Alcotest.(check int) "zero dispatches during the storm" d0
+    (Balancer.dispatches ~pid:slow);
+  let straggler_skips =
+    List.exists
+      (fun (d : Balancer.decision) ->
+        List.assoc_opt slow d.Balancer.d_skipped = Some Balancer.Straggler)
+      (Balancer.decisions (Fleet.balancer fleet))
+  in
+  Alcotest.(check bool) "skipped as Straggler, not anything else" true
+    straggler_skips;
+  (* gray failure clears: the skip-time decay walks the EWMA back toward
+     the fleet baseline and the worker rejoins the rotation *)
+  Fault.disarm "net.serve";
+  for _ = 1 to 60 do
+    ignore (Fleet.request fleet lget)
+  done;
+  Alcotest.(check bool) "rejoins after the storm" true
+    (Balancer.dispatches ~pid:slow > d0);
+  match Fleet.request fleet lget with
+  | `Reply (_, resp) -> Alcotest.(check string) "200" "200" (String.sub resp 9 3)
+  | `Refused | `Shed | `Timed_out _ -> Alcotest.fail "fleet refused"
+
 let suite =
   [
     Alcotest.test_case "wave planning" `Quick test_plan;
+    Alcotest.test_case "straggler gets zero dispatches" `Quick
+      test_straggler_zero_dispatches;
     Alcotest.test_case "manifest roundtrip + torn tail" `Quick
       test_manifest_roundtrip;
     Alcotest.test_case "manifest halted summary" `Quick

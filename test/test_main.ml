@@ -24,4 +24,5 @@ let () =
       ("apps-cold", Test_apps_cold.suite);
       ("machine-edges", Test_machine_edges.suite);
       ("fleet", Test_fleet.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -174,9 +174,28 @@ let test_guard_stream_replay () =
     "~host:true exposes it" true
     (has ~needle:"spans_host_seconds" (Obs.dump_json ~host:true ()))
 
+(* percentiles with fewer than two samples: the degenerate cases the
+   load generator hits when every request fails (or only one lands) *)
+let test_percentile_degenerate () =
+  Alcotest.(check (float 0.)) "empty list is 0" 0. (Obs.percentile_list 99. []);
+  Alcotest.(check (float 0.)) "empty p50 is 0" 0. (Obs.percentile_list 50. []);
+  Alcotest.(check (float 0.))
+    "singleton is the sample at any percentile" 42.
+    (Obs.percentile_list 99. [ 42. ]);
+  Alcotest.(check (float 0.))
+    "singleton p0 too" 42.
+    (Obs.percentile_list 0. [ 42. ]);
+  (* two samples interpolate between themselves *)
+  Alcotest.(check (float 1e-9)) "pair p50 interpolates" 15.
+    (Obs.percentile_list 50. [ 10.; 20. ]);
+  Alcotest.(check (float 0.)) "pair p100 is the max" 20.
+    (Obs.percentile_list 100. [ 10.; 20. ])
+
 let suite =
   [
     Alcotest.test_case "counters, gauges, labels" `Quick test_counters;
+    Alcotest.test_case "percentiles with <2 samples" `Quick
+      test_percentile_degenerate;
     Alcotest.test_case "histogram readback" `Quick test_histogram;
     Alcotest.test_case "span recording" `Quick test_spans;
     Alcotest.test_case "ring bounded eviction" `Quick test_ring_eviction;
