@@ -608,6 +608,161 @@ let run_chaos () =
       (Printf.sprintf "chaos: %d of %d runs violated an invariant"
          (List.length violated) runs)
 
+(* ---------- scrub: detection latency, repair economics, overhead ---------- *)
+
+(* The §6d silent-corruption ledger: how fast the background scrubber
+   catches a seeded bitflip as a function of the scrub interval, what a
+   page repair costs against the full respawn it replaces (the graduated
+   response must stay >= 5x cheaper), and what the default-rate scrubber
+   adds to a served workload (<= 5% of virtual cycles). Two seeded runs
+   of the same soak must produce byte-identical observability dumps.
+   Emits BENCH_scrub.json. *)
+let run_scrub () =
+  Common.section fmt "Scrub: detection latency, repair vs respawn, overhead";
+  let app = Workload.ltpd in
+  let blocks = Common.web_feature_blocks app in
+  let policy =
+    { Dynacut.method_ = `First_byte; on_trap = `Redirect "ltpd_403" }
+  in
+  let n = 3 in
+  let get = Workload.http_get "/index.html" in
+  let boot () =
+    Fault.reset ();
+    Obs.reset ();
+    let ctxs = Workload.spawn_fleet ~n app in
+    Workload.wait_fleet_ready ctxs;
+    let m = (List.hd ctxs).Workload.m in
+    let pids = List.map (fun c -> c.Workload.pid) ctxs in
+    let fleet = Fleet.create m ~port:Ltpd.port ~pids ~blocks ~policy in
+    (m, pids, fleet)
+  in
+  (* detection latency vs scrub rate: one seeded flip, then advance the
+     virtual clock in fixed steps pumping the background scrubber until
+     a slice reports the mismatch *)
+  let intervals = if !quick then [ 20_000; 5_000 ] else [ 40_000; 20_000; 10_000; 5_000 ] in
+  let detection =
+    List.map
+      (fun interval ->
+        let m, pids, fleet = boot () in
+        Fleet.start_scrub
+          ~config:{ Fleet.default_scrub_config with Fleet.sc_interval = interval }
+          fleet;
+        List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
+        let rng = Rng.create 1106 in
+        (match Machine.bitflip m ~pid:(List.hd pids) rng with
+        | Some (_, _) -> ()
+        | None -> failwith "scrub: seeded bitflip found no resident page");
+        let t_flip = m.Machine.clock in
+        let latency = ref None in
+        let steps = ref 0 in
+        while !latency = None && !steps < 200 do
+          incr steps;
+          m.Machine.clock <- Int64.add m.Machine.clock 1_000L;
+          (match Fleet.scrub_tick fleet with
+          | Some r when r.Fleet.sr_findings <> [] ->
+              latency := Some (Int64.sub m.Machine.clock t_flip)
+          | Some _ | None -> ())
+        done;
+        let latency =
+          match !latency with
+          | Some l -> l
+          | None -> failwith "scrub: flip never detected"
+        in
+        Format.fprintf fmt "  interval=%-6d detected after %Ld cycles@."
+          interval latency;
+        (interval, latency))
+      intervals
+  in
+  (* the graduated-response economics: a measured page repair against
+     the respawn the escalation path would pay instead *)
+  let m, pids, fleet = boot () in
+  Fleet.start_scrub fleet;
+  List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
+  let victim = List.hd pids in
+  let integrity = Fleet.integrity fleet ~pid:victim in
+  (match Machine.bitflip m ~pid:victim (Rng.create 1107) with
+  | Some _ -> ()
+  | None -> failwith "scrub: seeded bitflip found no resident page");
+  let finding =
+    match Integrity.scrub_full integrity ~pids:[ victim ] () with
+    | f :: _ -> f
+    | [] -> failwith "scrub: forced audit missed the flip"
+  in
+  let t0 = m.Machine.clock in
+  (match Integrity.repair integrity finding with
+  | Integrity.Repaired src ->
+      Format.fprintf fmt "  repair healed from %s@." src
+  | Integrity.Repair_failed why -> failwith ("scrub: repair failed: " ^ why));
+  let repair_cycles = Int64.to_int (Int64.sub m.Machine.clock t0) in
+  let respawn_cycles = Integrity.respawn_cost integrity ~pid:victim in
+  let ratio = float_of_int respawn_cycles /. float_of_int (max 1 repair_cycles) in
+  Format.fprintf fmt
+    "  repair %d cycles, respawn %d cycles — respawn/repair %.1fx@."
+    repair_cycles respawn_cycles ratio;
+  if ratio < 5. then
+    failwith
+      (Printf.sprintf "scrub: repair only %.1fx cheaper than respawn (need 5x)"
+         ratio);
+  (* scrub overhead on a served workload, default scrub rate vs none *)
+  let requests = if !quick then 40 else 120 in
+  let soak ~scrub =
+    let m, pids, fleet = boot () in
+    let start = m.Machine.clock in
+    if scrub then begin
+      Fleet.start_scrub fleet;
+      List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids
+    end;
+    for _ = 1 to requests do
+      ignore (Fleet.request fleet get);
+      if scrub then ignore (Fleet.scrub_tick fleet)
+    done;
+    Int64.to_float (Int64.sub m.Machine.clock start)
+  in
+  let base = soak ~scrub:false in
+  let scrubbed = soak ~scrub:true in
+  let overhead = (scrubbed -. base) /. base in
+  Format.fprintf fmt
+    "  workload %.0f cycles bare, %.0f with scrubbing — overhead %.2f%%@."
+    base scrubbed (100. *. overhead);
+  if overhead > 0.05 then
+    failwith
+      (Printf.sprintf "scrub: overhead %.2f%% exceeds the 5%% bound"
+         (100. *. overhead));
+  (* determinism: the same seeded flip-and-heal soak twice must dump a
+     byte-identical registry (virtual instrumentation only, no host) *)
+  let soak_dump () =
+    let m, pids, fleet = boot () in
+    Fleet.start_scrub fleet;
+    List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
+    let rng = Rng.create 1108 in
+    List.iter (fun pid -> ignore (Machine.bitflip m ~pid rng)) pids;
+    for _ = 1 to requests / 2 do
+      ignore (Fleet.request fleet get);
+      ignore (Fleet.scrub_tick fleet)
+    done;
+    List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
+    Obs.dump_json ()
+  in
+  let d1 = soak_dump () and d2 = soak_dump () in
+  if not (String.equal d1 d2) then
+    failwith "scrub: two seeded soaks dumped different registries";
+  Format.fprintf fmt "  determinism: two seeded soaks byte-identical (%d bytes)@."
+    (String.length d1);
+  let oc = open_out "BENCH_scrub.json" in
+  Printf.fprintf oc "{\n  \"app\": %S,\n  \"workers\": %d" app.Workload.a_name n;
+  List.iter
+    (fun (interval, latency) ->
+      Printf.fprintf oc ",\n  \"detect_cycles_interval_%d\": %Ld" interval
+        latency)
+    detection;
+  Printf.fprintf oc ",\n  \"repair_cycles\": %d" repair_cycles;
+  Printf.fprintf oc ",\n  \"respawn_cycles\": %d" respawn_cycles;
+  Printf.fprintf oc ",\n  \"respawn_over_repair\": %.1f" ratio;
+  Printf.fprintf oc ",\n  \"overhead_frac\": %.4f" overhead;
+  Printf.fprintf oc ",\n  \"deterministic\": true\n}\n";
+  close_out oc;
+  Format.fprintf fmt "  wrote BENCH_scrub.json@."
+
 (* ---------- experiment registry ---------- *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -627,6 +782,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fleet", "fan-out throughput + rollout pause per wave (§6a)", run_fleet);
     ("overload", "goodput + p99 vs offered load, shed on/off (§6b)", run_overload);
     ("chaos", "site x mode fault coverage + invariant oracles (§6c)", run_chaos);
+    ("scrub", "memory-integrity scrubbing: detection, repair economics (§6d)", run_scrub);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 

@@ -62,6 +62,40 @@ let print_fault_sites ?(verbose = false) () =
       else Printf.printf "%-22s %s\n" site desc)
     Fault.known_sites
 
+(* the machine-readable registry dump behind --list-fault-sites --json:
+   ci.sh's registry<->code sync check consumes it, so the shape (one
+   object per site with "site", "modes", "fired", "description") is a
+   stable contract *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_fault_sites_json () =
+  let site_obj (site, desc) =
+    let modes =
+      String.concat ", "
+        (List.map
+           (fun m -> Printf.sprintf "%S" (Fault.mode_to_string m))
+           (Fault.applicable_modes site))
+    in
+    Printf.sprintf
+      "  {\"site\": %S, \"modes\": [%s], \"fired\": %d, \"description\": \
+       \"%s\"}"
+      site modes (Fault.registry_fired site) (json_escape desc)
+  in
+  Printf.printf "[\n%s\n]\n"
+    (String.concat ",\n" (List.map site_obj Fault.known_sites))
+
 let inject_fault_arg =
   let doc =
     "Arm a deterministic fault at a pipeline site before cutting \
@@ -748,10 +782,34 @@ let fleet_cmd =
     in
     Arg.(value & opt int 400_000 & info [ "deadline" ] ~docv:"CYCLES" ~doc)
   in
+  let sites_json =
+    let doc =
+      "With $(b,--list-fault-sites): dump the registry as a JSON array \
+       (site, applicable modes, fired count, description) instead of the \
+       human listing. ci.sh's registry sync check consumes this."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let scrub_interval =
+    let doc =
+      "Background memory-integrity scrubbing: every $(docv) virtual \
+       cycles one worker (rotating) has a page slice of its immutable \
+       VMAs digest-audited against its live baseline; a mismatch \
+       quarantines the worker, heals the page from the best trusted \
+       source, and escalates to a respawn only if repair fails or the \
+       page diverges again. 0 (the default) disables scrubbing."
+    in
+    Arg.(value & opt int 0 & info [ "scrub-interval" ] ~docv:"CYCLES" ~doc)
+  in
   let action app feature workers waves drift_window storm_wave slices
-      offered_load deadline faults seed list_sites verbose metrics =
+      offered_load deadline scrub_interval faults seed list_sites sites_json
+      verbose metrics =
+    let print_sites () =
+      if sites_json then print_fault_sites_json ()
+      else print_fault_sites ~verbose ()
+    in
     if list_sites && app = None then begin
-      print_fault_sites ~verbose ();
+      print_sites ();
       exit 0
     end;
     let app = require_app app in
@@ -768,7 +826,35 @@ let fleet_cmd =
       Fleet.create m ~port ~pids ~blocks
         ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
     in
-    let send reqs = List.iter (fun r -> ignore (Fleet.request fleet r)) reqs in
+    if scrub_interval > 0 then
+      Fleet.start_scrub
+        ~config:
+          { Fleet.default_scrub_config with Fleet.sc_interval = scrub_interval }
+        fleet;
+    (* pump the background scrubber between request batches; only slices
+       that found, refused or escalated something are worth a line *)
+    let scrub_pump () =
+      if scrub_interval > 0 then
+        match Fleet.scrub_tick fleet with
+        | Some r
+          when r.Fleet.sr_findings <> []
+               || r.Fleet.sr_refused <> None
+               || r.Fleet.sr_respawned ->
+            Format.printf "scrub: pid=%d findings=%d repaired=[%s]%s%s@."
+              r.Fleet.sr_pid
+              (List.length r.Fleet.sr_findings)
+              (String.concat ";"
+                 (List.map (fun (_, src) -> src) r.Fleet.sr_repaired))
+              (if r.Fleet.sr_respawned then " respawned" else "")
+              (match r.Fleet.sr_refused with
+              | Some e -> " refused: " ^ e
+              | None -> "")
+        | Some _ | None -> ()
+    in
+    let send reqs =
+      List.iter (fun r -> ignore (Fleet.request fleet r)) reqs;
+      scrub_pump ()
+    in
     let drive () =
       let w = int_of_float (Obs.gauge_value (Obs.gauge "fleet.wave")) in
       match storm_wave with
@@ -790,8 +876,17 @@ let fleet_cmd =
         }
     in
     let finish code =
+      if scrub_interval > 0 then
+        Format.printf
+          "scrub: pages scanned %d (hashed %d)  mismatches %d  quarantines \
+           %d  respawns %d@."
+          (Obs.counter_value (Obs.counter "integrity.pages_scanned"))
+          (Obs.counter_value (Obs.counter "integrity.pages_hashed"))
+          (Obs.counter_value (Obs.counter "integrity.mismatches"))
+          (Obs.counter_value (Obs.counter "fleet.scrub.quarantines"))
+          (Obs.counter_value (Obs.counter "fleet.scrub.respawns"));
       if faults <> [] then print_endline (Fault.report ());
-      if list_sites then print_fault_sites ~verbose ();
+      if list_sites then print_sites ();
       write_metrics metrics;
       exit code
     in
@@ -914,8 +1009,120 @@ let fleet_cmd =
     (Cmd.info "fleet" ~doc ~man)
     Term.(
       const action $ app_opt_arg $ feature $ workers $ waves $ drift_window
-      $ storm_wave $ slices $ offered_load $ deadline $ inject_fault_arg
-      $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg $ metrics_out_arg)
+      $ storm_wave $ slices $ offered_load $ deadline $ scrub_interval
+      $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg $ sites_json
+      $ verbose_arg $ metrics_out_arg)
+
+(* ---------- scrub ---------- *)
+
+let scrub_cmd =
+  let workers =
+    let doc = "Number of fleet workers to audit." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let flips =
+    let doc =
+      "Inject $(docv) seeded single-bit flips into resident immutable \
+       pages (rotating over the workers) between the baseline capture \
+       and the audit — a silent-corruption demo the scrubber must \
+       detect and heal. 0 audits a pristine fleet."
+    in
+    Arg.(value & opt int 2 & info [ "flips" ] ~docv:"K" ~doc)
+  in
+  let seed =
+    let doc = "Seed for the flip locations." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let action app workers flips seed metrics =
+    let app = find_app app in
+    let port = server_port app in
+    let blocks, redirect = feature_blocks app (default_feature app None) in
+    Fault.reset ();
+    let ctxs = Workload.spawn_fleet ~n:workers app in
+    Workload.wait_fleet_ready ctxs;
+    let m = (List.hd ctxs).Workload.m in
+    let pids = List.map (fun c -> c.Workload.pid) ctxs in
+    let fleet =
+      Fleet.create m ~port ~pids ~blocks
+        ~policy:{ Dynacut.method_ = `First_byte; on_trap = `Redirect redirect }
+    in
+    Fleet.start_scrub fleet;
+    (* baseline capture: a first full audit of every worker, necessarily
+       clean — the manifests record what the loader left in memory *)
+    List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
+    let rng = Rng.create seed in
+    for i = 0 to flips - 1 do
+      let victim = List.nth pids (i mod List.length pids) in
+      match Machine.bitflip m ~pid:victim rng with
+      | Some (pid, vaddr) -> Format.printf "flip: pid=%d vaddr=0x%Lx@." pid vaddr
+      | None ->
+          Format.printf "flip: pid=%d has no resident immutable page@." victim
+    done;
+    let reports = List.map (fun pid -> Fleet.scrub_now fleet ~pid) pids in
+    let rows =
+      List.map
+        (fun (r : Fleet.scrub_report) ->
+          let pid = r.Fleet.sr_pid in
+          let p = Machine.proc_exn m pid in
+          [
+            string_of_int pid;
+            p.Proc.comm;
+            Proc.state_to_string p.Proc.state;
+            string_of_int
+              (Integrity.pages_tracked (Fleet.integrity fleet ~pid));
+            string_of_int (List.length r.Fleet.sr_findings);
+            (match r.Fleet.sr_repaired with
+            | [] -> "-"
+            | l -> String.concat ";" (List.map snd l));
+            (if r.Fleet.sr_respawned then "yes" else "no");
+          ])
+        reports
+    in
+    print_string
+      (Table.render
+         ~headers:
+           [ "PID"; "COMM"; "STATE"; "PAGES"; "MISMATCH"; "REPAIR"; "RESPAWN" ]
+         rows);
+    print_newline ();
+    Format.printf
+      "scrub: pages scanned %d (hashed %d)  mismatches %d  respawns %d@."
+      (Obs.counter_value (Obs.counter "integrity.pages_scanned"))
+      (Obs.counter_value (Obs.counter "integrity.pages_hashed"))
+      (Obs.counter_value (Obs.counter "integrity.mismatches"))
+      (Obs.counter_value (Obs.counter "fleet.scrub.respawns"));
+    (* the post-heal audit must be clean: every surviving page matches
+       its baseline again *)
+    let residue =
+      List.concat_map
+        (fun pid -> Integrity.scrub_full (Fleet.integrity fleet ~pid) ~pids:[ pid ] ())
+        pids
+    in
+    write_metrics metrics;
+    if residue <> [] then begin
+      List.iter
+        (fun f -> Format.printf "residue: %a@." Integrity.pp_finding f)
+        residue;
+      exit 3
+    end
+  in
+  let doc =
+    "Audit a fleet's immutable pages against live baselines, heal \
+     seeded bit-flips page-by-page, and verify the post-repair state is \
+     clean."
+  in
+  let man =
+    [
+      `S "EXIT STATUS";
+      `P "0: every audited page matches its baseline after healing.";
+      `P "2: usage error (unknown app, or a batch app without a port).";
+      `P
+        "3: residue — a page still diverged from its baseline after the \
+         graduated repair/respawn response.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "scrub" ~doc ~man)
+    Term.(const action $ app_arg $ workers $ flips $ seed $ metrics_out_arg)
 
 (* ---------- top ---------- *)
 
@@ -987,10 +1194,16 @@ let top_cmd =
     in
     let outcome, _ = Fleet.rollout fleet ~config ~drive () in
     Fleet.start_drift fleet ~collector:(Workload.collector (List.hd ctxs)) ();
+    Fleet.start_scrub fleet;
     for _ = 1 to slices do
       drive ();
-      ignore (Fleet.tick fleet)
+      ignore (Fleet.tick fleet);
+      ignore (Fleet.scrub_tick fleet)
     done;
+    (* force one full audit per worker so the SCRUB column shows every
+       worker's baselined page count, not just the slices the rotation
+       reached during the soak *)
+    List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
     let drift = Printf.sprintf "%.2f" (Obs.gauge_value (Obs.gauge "fleet.drift_score")) in
     let rows =
       Fleet.workers fleet
@@ -1005,19 +1218,26 @@ let top_cmd =
                (if w.Rollout.w_wave < 0 then "-"
                 else string_of_int w.Rollout.w_wave);
                drift;
+               string_of_int
+                 (Integrity.pages_tracked
+                    (Fleet.integrity fleet ~pid:w.Rollout.w_pid));
                Printf.sprintf "%s@%Ld" w.Rollout.w_state w.Rollout.w_since;
              ])
     in
     print_string
       (Table.render
-         ~headers:[ "PID"; "COMM"; "STATE"; "TRAPS"; "WAVE"; "DRIFT"; "LAST" ]
+         ~headers:
+           [ "PID"; "COMM"; "STATE"; "TRAPS"; "WAVE"; "DRIFT"; "SCRUB"; "LAST" ]
          rows);
     print_newline ();
     Format.printf "rollout: %a  reqs=%d refused=%d traps=%d@."
       Rollout.pp_outcome outcome
       (List.fold_left (fun a pid -> a + pid_counter "fleet.dispatches" pid) 0 pids)
       (Obs.counter_value (Obs.counter "fleet.refused"))
-      (Obs.counter_value (Obs.counter "machine.traps"))
+      (Obs.counter_value (Obs.counter "machine.traps"));
+    Format.printf "scrub: pages scanned %d  mismatches %d@."
+      (Obs.counter_value (Obs.counter "integrity.pages_scanned"))
+      (Obs.counter_value (Obs.counter "integrity.mismatches"))
   in
   let action app feature storm canary slices fleet_n =
     if fleet_n > 0 then begin
@@ -1207,7 +1427,20 @@ let chaos_cmd =
         let len = in_channel_length ic in
         let text = really_input_string ic len in
         close_in ic;
-        let sched = Schedule.of_replay text in
+        let sched =
+          match Schedule.of_replay text with
+          | s -> s
+          | exception Schedule.Unsupported_version { uv_found; uv_supported }
+            ->
+              Printf.eprintf
+                "%s: unsupported chaos-replay version %s (this build \
+                 supports %s)\n"
+                file uv_found uv_supported;
+              exit 2
+          | exception Invalid_argument e ->
+              Printf.eprintf "%s: %s\n" file e;
+              exit 2
+        in
         let r = Chaos.run ~config sched in
         show r;
         exit (if Chaos.passed r then 0 else 8)
@@ -1265,7 +1498,9 @@ let chaos_cmd =
     [
       `S "EXIT STATUS";
       `P "0: every schedule (or the replayed one) passed every invariant.";
-      `P "2: usage error (unknown app, or app without a redirect symbol).";
+      `P
+        "2: usage error (unknown app, app without a redirect symbol, or \
+         a malformed / future-version --replay file).";
       `P
         "8: an invariant was violated; the (possibly shrunk) schedule was \
          written as a replay file that reproduces the violation from the \
@@ -1331,6 +1566,7 @@ let () =
             guard_cmd;
             recover_cmd;
             fleet_cmd;
+            scrub_cmd;
             stats_cmd;
             top_cmd;
             crit_cmd;

@@ -37,12 +37,15 @@ dune exec examples/overload_soak.exe
 
 # The static fault-site registry must match the Fault.site call sites
 # actually present in lib/ — a site added in code but missing from
-# Fault.known_sites would silently escape the crash matrix below.
+# Fault.known_sites would silently escape the crash matrix below. The
+# registry side comes from the machine-readable dump
+# (--list-fault-sites --json), not from scraping the human listing.
 echo "== fault-site registry sync =="
 # The call may carry optional labelled args (e.g. ~scope:pid) before the
 # site literal, so match up to the first quoted string on the line.
 sites_in_code=$(grep -rhoE 'Fault\.site [^"]*"[^"]+"' lib/ | sed 's/.*"\(.*\)"$/\1/' | sort -u)
-sites_listed=$(dune exec bin/dynacut_cli.exe -- fleet --list-fault-sites | awk '{print $1}' | sort -u)
+sites_listed=$(dune exec bin/dynacut_cli.exe -- fleet --list-fault-sites --json \
+  | grep -o '"site": *"[^"]*"' | sed 's/.*"\([^"]*\)"$/\1/' | sort -u)
 if [ "$sites_in_code" != "$sites_listed" ]; then
   echo "FAIL: Fault.site calls in lib/ disagree with --list-fault-sites:"
   echo "--- in code"
@@ -52,6 +55,13 @@ if [ "$sites_in_code" != "$sites_listed" ]; then
   exit 1
 fi
 echo "   $(echo "$sites_listed" | wc -l) sites in sync"
+
+# Scrub smoke (DESIGN.md §6d): detection latency vs scrub rate, the
+# repair-vs-respawn cost ratio (must stay >= 5x), the scrub overhead
+# bound (<= 5% of workload cycles at the default interval), and the
+# two-seeded-runs determinism check, written to BENCH_scrub.json.
+echo "== bench --quick scrub =="
+dune exec bench/main.exe -- --quick scrub
 
 # Crash-recovery matrix (DESIGN.md §5d): kill the controller at every
 # registered fault site mid-cut, recover, and assert each pid is fully

@@ -499,6 +499,42 @@ let fleet_shed site =
   in
   assert_fleet_serving ~site ~what:"after recover" fleet'
 
+(* Controller dies mid-scrub — either hashing a page (scrub.page) or
+   healing a diverged one (integrity.repair). The audit is read-only and
+   a repair that dies before writing burns no page-repair budget, so
+   recovery must invent no work and the next controller's scrub pass
+   detects the still-standing flip and heals it in place. *)
+let scrub_crash site =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:2 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  Fleet.start_scrub fleet;
+  List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
+  let victim =
+    match Machine.bitflip m ~pid:(List.hd pids) (Rng.create 4243) with
+    | Some (pid, _) -> pid
+    | None -> fail "%s: seeded bitflip found no resident page" site
+  in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Fleet.scrub_now fleet ~pid:victim with
+  | (_ : Fleet.scrub_report) -> fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Fleet.recover m ~pids in
+  List.iter
+    (fun (pid, a) ->
+      if a <> `Nothing then
+        fail "%s: recovery invented work for quiescent pid %d" site pid)
+    r.Fleet.fr_workers;
+  (* the interrupted slice left the flip standing; the next pass must
+     catch and heal it before the XOR invariant can hold *)
+  let r2 = Fleet.scrub_now fleet ~pid:victim in
+  if List.length r2.Fleet.sr_repaired <> 1 || r2.Fleet.sr_respawned then
+    fail "%s: post-recovery scrub did not page-repair the flip" site;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:[];
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
 (* Every registered site maps to a scenario through its family prefix
    (the registry name up to the first '.'), with per-site overrides for
    the handful that need a special driver. A site added to the registry
@@ -525,6 +561,7 @@ let scenario_of_site site =
   | "fleet.recut" -> fleet_recut site
   | "fleet.shed" -> fleet_shed site
   | "balancer.dispatch" -> balancer_dispatch site
+  | "scrub.page" | "integrity.repair" -> scrub_crash site
   | _ -> (
       (* family defaults: the single-tree cut pipeline crashes under
          [plain]; crit round-trips under [crit]; every dispatch-path

@@ -179,6 +179,23 @@ let run ?(config = default_config)
           effective;
     }
   in
+  (* the background scrubber runs for the whole chaos window; baselines
+     are captured now, while the fleet is provably clean — a flip that
+     lands first would otherwise be baked into the manifest as truth *)
+  Fleet.start_scrub fleet;
+  List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids;
+  let mism0 = Obs.counter_value (Obs.counter "integrity.mismatches") in
+  (* record every flip the schedule lands (victim, page, page table) so
+     the post-run audit can tell surviving damage from damage a restore
+     already wiped *)
+  let flips : (int * int64 * Mem.t) list ref = ref [] in
+  Fault.set_bitflip_hook
+    (Some
+       (fun ~scope rng ->
+         match Machine.bitflip m ?pid:scope rng with
+         | Some (pid, addr) ->
+             flips := (pid, addr, (Machine.proc_exn m pid).Proc.mem) :: !flips
+         | None -> ()));
   let t0 = m.Machine.clock in
   (* arm nth-occurrence events relative to now; windows arm in tick *)
   let states =
@@ -242,8 +259,32 @@ let run ?(config = default_config)
               attempt_recover (tries - 1)
           | None -> raise e)
   in
+  (* one background scrub step per traffic slice, like the drift tick —
+     this is what makes [scrub.page] reachable for schedules *)
+  let scrub_step () =
+    match Fleet.scrub_tick fleet with
+    | None -> ()
+    | Some r ->
+        if r.Fleet.sr_findings <> [] then
+          note "scrub: pid %d diverged on %d page(s), %d repaired%s"
+            r.Fleet.sr_pid
+            (List.length r.Fleet.sr_findings)
+            (List.length r.Fleet.sr_repaired)
+            (if r.Fleet.sr_respawned then ", respawned" else "");
+        (match r.Fleet.sr_refused with
+        | Some s -> note "scrub: refused (%s)" s
+        | None -> ())
+    | exception Fault.Controller_killed { site } ->
+        note "scrub: controller died at %s" site;
+        attempt_recover 6
+    | exception e -> (
+        match refusal_of_exn e with
+        | Some msg -> note "scrub: %s" msg
+        | None -> raise e)
+  in
   let request label =
     tick ();
+    scrub_step ();
     (match Fleet.request fleet get with
     | `Reply (pid, resp) -> note "%s: pid %d answered %s" label pid (status resp)
     | `Refused -> note "%s: refused" label
@@ -305,6 +346,45 @@ let run ?(config = default_config)
         | None -> raise e);
         Fleet.recover m ~pids)
   in
+  (* silent-corruption audit, before the byte-level oracles: flips that
+     survived in place (victim alive on the same page table) must be
+     detected by this forced scrub, healed, and a second audit must come
+     back clean — and healing first keeps a flipped feature byte from
+     masquerading as an xor violation *)
+  let surviving =
+    List.length
+      (List.filter
+         (fun (pid, _addr, mem0) ->
+           match Machine.proc m pid with
+           | Some p when Proc.is_live p -> p.Proc.mem == mem0
+           | _ -> false)
+         !flips)
+  in
+  List.iter
+    (fun pid ->
+      match Fleet.scrub_now fleet ~pid with
+      | (r : Fleet.scrub_report) ->
+          if r.Fleet.sr_findings <> [] then
+            note "final scrub: pid %d healed %d page(s)%s" pid
+              (List.length r.Fleet.sr_repaired)
+              (if r.Fleet.sr_respawned then " (respawned)" else "")
+      | exception e -> (
+          match refusal_of_exn e with
+          | Some msg -> note "final scrub refused: %s" msg
+          | None -> raise e))
+    pids;
+  let residue =
+    List.concat_map
+      (fun pid ->
+        try Integrity.scrub_full (Fleet.integrity fleet ~pid) ~pids:[ pid ] ()
+        with e when refusal_of_exn e <> None -> [])
+      pids
+  in
+  let detected =
+    Obs.counter_value (Obs.counter "integrity.mismatches") - mism0
+  in
+  violations :=
+    Oracle.check_scrub ~flips:surviving ~detected ~residue @ !violations;
   (* safety oracles *)
   violations := Oracle.check_xor oracle @ !violations;
   violations :=
@@ -400,10 +480,13 @@ let strike site mode (op : unit -> unit) =
         | None -> raise e)
   in
   if Fault.fired site = 0 then failp "site never fired";
-  (* a delay is a gray failure: slow, never wrong *)
+  (* a delay is a gray failure: slow, never wrong. A bitflip is silent:
+     the damage is resident, the operation itself must proceed *)
   (match (mode, outcome) with
   | Fault.Delay _, `Refused msg -> failp "delay refused the operation: %s" msg
   | Fault.Delay _, `Killed -> failp "delay killed the controller"
+  | Fault.Bitflip, `Refused msg -> failp "bitflip refused the operation: %s" msg
+  | Fault.Bitflip, `Killed -> failp "bitflip killed the controller"
   | _ -> ());
   outcome
 
@@ -650,12 +733,71 @@ let fleet_rollout_probe site mode =
   fleet_finish m pids oracle ~plan:(Rollout.plan ~pids ~waves:2)
     ~serving_fleet:fleet
 
-(* fault strikes one dispatched request (balancer / net sites) *)
+(* heal every worker with a forced audit, then require a second audit of
+   each to come back clean — the probes' "scrubbed back to health" bar *)
+let fleet_heal_all fleet pids =
+  List.iter (fun pid -> ignore (Fleet.scrub_now fleet ~pid)) pids
+
+let assert_fleet_clean fleet pids =
+  List.iter
+    (fun pid ->
+      match Integrity.scrub_full (Fleet.integrity fleet ~pid) ~pids:[ pid ] () with
+      | [] -> ()
+      | fs ->
+          failp "pid %d still diverged after heal (%d finding(s))" pid
+            (List.length fs))
+    pids
+
+(* fault strikes one dispatched request (balancer / net sites); a
+   [Bitflip] lands silent damage the scrubber must then heal, so those
+   runs bracket the strike with trusted baselines and a forced audit *)
 let fleet_request_probe site mode =
   let _ctxs, m, pids, fleet, oracle = fleet_setup ~n:2 () in
+  if mode = Fault.Bitflip then begin
+    Fleet.start_scrub fleet;
+    fleet_heal_all fleet pids
+  end;
   let (_ : [ `Completed | `Killed | `Refused of string ]) =
     strike site mode (fun () -> ignore (Fleet.request fleet get))
   in
+  if mode = Fault.Bitflip then begin
+    fleet_heal_all fleet pids;
+    assert_fleet_clean fleet pids
+  end;
+  fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
+
+(* fault strikes the scrubber's own page audit — including a Bitflip
+   landing mid-audit, which the next pass must catch and heal *)
+let scrub_probe site mode =
+  let _ctxs, m, pids, fleet, oracle = fleet_setup ~n:2 () in
+  Fleet.start_scrub fleet;
+  fleet_heal_all fleet pids;
+  let victim = List.hd pids in
+  (match
+     strike site mode (fun () -> ignore (Fleet.scrub_now fleet ~pid:victim))
+   with
+  | `Completed | `Killed | `Refused _ -> ());
+  fleet_heal_all fleet pids;
+  assert_fleet_clean fleet pids;
+  fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
+
+(* fault strikes the page-level repair of a seeded flip *)
+let repair_probe site mode =
+  let _ctxs, m, pids, fleet, oracle = fleet_setup ~n:2 () in
+  Fleet.start_scrub fleet;
+  fleet_heal_all fleet pids;
+  let victim = List.hd pids in
+  let rng = Rng.create 1105 in
+  (match Machine.bitflip m ~pid:victim rng with
+  | Some _ -> ()
+  | None -> failp "seeded bitflip found no resident immutable page");
+  (match
+     strike site mode (fun () -> ignore (Fleet.scrub_now fleet ~pid:victim))
+   with
+  | `Completed | `Killed | `Refused _ -> ());
+  (* whichever way the repair fault went, the retry must converge *)
+  fleet_heal_all fleet pids;
+  assert_fleet_clean fleet pids;
   fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
 
 (* fault strikes the shed path: watermark zero sheds the first dispatch *)
@@ -736,6 +878,8 @@ let probe_driver (site : string) : Fault.mode -> unit =
   | "net.serve" ->
       fleet_request_probe site
   | "fleet.shed" -> fleet_shed_probe site
+  | "scrub.page" -> scrub_probe site
+  | "integrity.repair" -> repair_probe site
   | s -> fun _ -> failp "site %s has no chaos probe — extend Chaos.probe_driver" s
 
 type probe = {

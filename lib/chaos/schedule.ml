@@ -65,6 +65,7 @@ let fleet_sites =
     "balancer.health";
     "net.accept_queue";
     "net.serve";
+    "scrub.page";
   ]
 
 (* a generated delay is big enough to dominate a request's round trip —
@@ -123,6 +124,7 @@ let mode_of_string (s : string) : Fault.mode =
   | "corrupt" -> Fault.Corrupt
   | "enospc" -> Fault.Enospc
   | "eio" -> Fault.Eio
+  | "bitflip" -> Fault.Bitflip
   | _ ->
       let pfx = "delay=" in
       if String.length s > String.length pfx
@@ -151,6 +153,25 @@ let to_replay (s : t) : string =
            | Window (t0, t1) -> Printf.sprintf "window %d %d" t0 t1)))
     s.sc_events;
   Buffer.contents b
+
+exception
+  Unsupported_version of {
+    uv_found : string;  (** the version token in the header, e.g. "v2" *)
+    uv_supported : string;
+  }
+(** The file is a well-formed chaos-replay file from a {e future} format
+    version. Raised instead of misparsing: a v2 file could carry fields
+    whose silent loss would replay a {e different} schedule than the one
+    that failed. The CLI maps this to a distinct exit code. *)
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported_version { uv_found; uv_supported } ->
+        Some
+          (Printf.sprintf
+             "unsupported chaos-replay version %s (this build supports %s)"
+             uv_found uv_supported)
+    | _ -> None)
 
 let of_replay (text : string) : t =
   let bad fmt = Printf.ksprintf invalid_arg fmt in
@@ -194,4 +215,12 @@ let of_replay (text : string) : t =
       (match !seed with
       | Some sc_seed -> { sc_seed; sc_events = List.rev !events }
       | None -> bad "Schedule.of_replay: no seed line")
+  | header :: _
+    when String.length header > 13 && String.sub header 0 13 = "chaos-replay " ->
+      raise
+        (Unsupported_version
+           {
+             uv_found = String.sub header 13 (String.length header - 13);
+             uv_supported = "v1";
+           })
   | _ -> bad "Schedule.of_replay: not a chaos-replay v1 file"

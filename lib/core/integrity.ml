@@ -1,0 +1,329 @@
+(** Memory-integrity scrubbing and page-level self-healing.
+
+    The baseline is captured {e live}: after a restore the loader and
+    the committed cut edits have already shaped the immutable pages, so
+    file bytes alone are not the truth — what the tree actually runs is.
+    Staleness is physical: a restore installs a fresh {!Mem.t}, so a
+    manifest whose page table is no longer the pid's page table is
+    rebuilt rather than trusted.
+
+    Repair never pokes a byte it has not proven: every candidate source
+    is digested against the baseline first, in trust order — the working
+    image (what the last commit sealed), the pristine image with the
+    committed rewrite deltas re-applied, the backing binary, and only
+    then the in-memory baseline snapshot. *)
+
+type finding = {
+  f_pid : int;
+  f_vaddr : int64;
+  f_expected : int64;
+  f_found : int64;
+}
+
+let pp_finding fmt f =
+  Format.fprintf fmt "pid %d page 0x%Lx: digest %Lx, expected %Lx" f.f_pid
+    f.f_vaddr f.f_found f.f_expected
+
+type repair_outcome = Repaired of string | Repair_failed of string
+
+(* virtual-cost model, in cycles: a generation check is a dirty-bit read,
+   a hash touches the whole 4 KiB page, a repair decodes and validates an
+   image frame before poking, and a respawn rebuilds the whole address
+   space. The constants only need to preserve the real orderings
+   (skip << hash << repair << respawn) for the bench economics to be
+   meaningful. *)
+let cost_skip = 1
+let cost_hash = 16
+let cost_repair = 128
+let cost_respawn_fixed = 4096
+let cost_respawn_page = 256
+
+type entry = {
+  e_vaddr : int64;
+  e_digest : int64;
+  e_snapshot : bytes;
+  mutable e_gen : int;  (** write generation last proven clean *)
+}
+
+type manifest = {
+  m_pid : int;
+  m_mem : Mem.t;  (** physical identity — a restored pid gets a new one *)
+  m_entries : entry array;
+}
+
+type t = {
+  session : Dynacut.session;
+  machine : Machine.t;
+  mutable manifests : (int * manifest) list;
+  mutable cursor : int;  (** rotation position in the flattened page walk *)
+  c_visited : Obs.counter;
+  c_hashed : Obs.counter;
+  c_skipped : Obs.counter;
+  c_mismatch : Obs.counter;
+  c_repair_failed : Obs.counter;
+  g_pages : Obs.gauge;
+  h_repair : Obs.histogram;
+}
+
+let create (session : Dynacut.session) : t =
+  {
+    session;
+    machine = session.Dynacut.machine;
+    manifests = [];
+    cursor = 0;
+    c_visited = Obs.counter "integrity.pages_scanned";
+    c_hashed = Obs.counter "integrity.pages_hashed";
+    c_skipped = Obs.counter "integrity.pages_skipped";
+    c_mismatch = Obs.counter "integrity.mismatches";
+    c_repair_failed = Obs.counter "integrity.repair_failures";
+    g_pages = Obs.gauge "integrity.baseline_pages";
+    h_repair =
+      Obs.histogram
+        ~buckets:[ 32.; 64.; 128.; 256.; 512.; 1024.; 4096.; 16384. ]
+        "integrity.repair_cycles";
+  }
+
+let charge (t : t) (n : int) : unit =
+  t.machine.Machine.clock <- Int64.add t.machine.Machine.clock (Int64.of_int n)
+
+let immutable_vmas (mem : Mem.t) : Mem.vma list =
+  List.filter (fun (v : Mem.vma) -> not v.Mem.va_prot.Self.p_w) mem.Mem.vmas
+
+let pages_tracked (t : t) : int =
+  List.fold_left (fun n (_, m) -> n + Array.length m.m_entries) 0 t.manifests
+
+let tracked_pids (t : t) : int list = List.map fst t.manifests
+let drop_pid (t : t) ~pid = t.manifests <- List.remove_assoc pid t.manifests
+
+let set_pages_gauge (t : t) =
+  Obs.set_gauge t.g_pages (float_of_int (pages_tracked t))
+
+(* Capture a live manifest: digest + snapshot of every resident page of
+   every non-writable VMA, with the generation it was clean at. *)
+let rebaseline (t : t) ~(pid : int) : unit =
+  (match Machine.proc t.machine pid with
+  | Some p when Proc.is_live p ->
+      let mem = p.Proc.mem in
+      let entries =
+        List.concat_map
+          (fun v ->
+            List.map
+              (fun (vaddr, data) ->
+                charge t cost_hash;
+                {
+                  e_vaddr = vaddr;
+                  e_digest = Mem.digest_bytes data;
+                  e_snapshot = Bytes.copy data;
+                  e_gen =
+                    (match Mem.page_gen mem vaddr with Some g -> g | None -> 0);
+                })
+              (Mem.pages_of_vma mem v))
+          (immutable_vmas mem)
+      in
+      t.manifests <-
+        (pid, { m_pid = pid; m_mem = mem; m_entries = Array.of_list entries })
+        :: List.remove_assoc pid t.manifests;
+      Obs.event ~kind:"integrity"
+        (Printf.sprintf "baseline pid=%d pages=%d" pid (List.length entries))
+  | _ -> drop_pid t ~pid);
+  set_pages_gauge t
+
+(* A manifest is trusted only while its page table is still the pid's
+   page table; anything else (restore, respawn, death) invalidates it. *)
+let ensure_fresh (t : t) ~(pid : int) : unit =
+  match Machine.proc t.machine pid with
+  | Some p when Proc.is_live p -> (
+      match List.assoc_opt pid t.manifests with
+      | Some m when m.m_mem == p.Proc.mem -> ()
+      | _ -> rebaseline t ~pid)
+  | _ -> drop_pid t ~pid
+
+let check_page (t : t) (m : manifest) (e : entry) : finding option =
+  Fault.site ~scope:m.m_pid "scrub.page";
+  Obs.incr t.c_visited;
+  match Mem.page_gen m.m_mem e.e_vaddr with
+  | None ->
+      (* unmapped since baseline (an unmap cut landed without a restore —
+         cannot happen through the transaction engine); nothing to audit *)
+      charge t cost_skip;
+      Obs.incr t.c_skipped;
+      None
+  | Some g when g = e.e_gen ->
+      charge t cost_skip;
+      Obs.incr t.c_skipped;
+      None
+  | Some g -> (
+      charge t cost_hash;
+      Obs.incr t.c_hashed;
+      match Mem.page_digest m.m_mem e.e_vaddr with
+      | Some d when d = e.e_digest ->
+          e.e_gen <- g;
+          None
+      | Some d ->
+          Obs.incr t.c_mismatch;
+          Obs.event ~kind:"integrity"
+            (Printf.sprintf "mismatch pid=%d vaddr=0x%Lx digest=%Lx expected=%Lx"
+               m.m_pid e.e_vaddr d e.e_digest);
+          Some
+            {
+              f_pid = m.m_pid;
+              f_vaddr = e.e_vaddr;
+              f_expected = e.e_digest;
+              f_found = d;
+            }
+      | None ->
+          Obs.incr t.c_skipped;
+          None)
+
+let scrub (t : t) ?pids ~(quantum : int) () : finding list =
+  let pids =
+    match pids with Some l -> l | None -> Dynacut.tree_pids t.session
+  in
+  List.iter (fun pid -> ensure_fresh t ~pid) pids;
+  let flat =
+    List.concat_map
+      (fun pid ->
+        match List.assoc_opt pid t.manifests with
+        | Some m -> List.map (fun e -> (m, e)) (Array.to_list m.m_entries)
+        | None -> [])
+      pids
+  in
+  let n = List.length flat in
+  if n = 0 || quantum <= 0 then []
+  else begin
+    let arr = Array.of_list flat in
+    let start = t.cursor mod n in
+    let quantum = min quantum n in
+    let findings = ref [] in
+    for k = 0 to quantum - 1 do
+      let m, e = arr.((start + k) mod n) in
+      match check_page t m e with
+      | Some f -> findings := f :: !findings
+      | None -> ()
+    done;
+    t.cursor <- (start + quantum) mod n;
+    List.rev !findings
+  end
+
+let scrub_full (t : t) ?pids () : finding list =
+  scrub t ?pids ~quantum:max_int ()
+
+let recheck (t : t) (f : finding) : bool =
+  match List.assoc_opt f.f_pid t.manifests with
+  | None -> false
+  | Some m -> (
+      charge t cost_hash;
+      match Mem.page_digest m.m_mem f.f_vaddr with
+      | Some d -> d = f.f_expected
+      | None -> false)
+
+(* One page of a sealed tmpfs image, decoded outside the criu.load fault
+   site: repair has its own site, and riding criu.load here would skew
+   the hit schedules every armed criu.load fault counts on. *)
+let page_from_image (t : t) ~(vaddr : int64) ~(path : string) : bytes option =
+  match Vfs.find t.machine.Machine.fs path with
+  | None -> None
+  | Some blob -> (
+      match Validate.decode_sealed blob with
+      | exception Validate.Validate_error _ -> None
+      | img -> Restore.image_page_bytes t.machine img ~vaddr)
+
+(* Re-apply the committed rewrite deltas that overlap one pristine page:
+   pristine bytes + deltas = the expected working state. *)
+let apply_deltas ~(page_base : int64) (page : bytes)
+    (deltas : (int64 * bytes) list) : bytes =
+  let page = Bytes.copy page in
+  let p_lo = Int64.to_int page_base
+  and p_hi = Int64.to_int page_base + Bytes.length page in
+  List.iter
+    (fun (vaddr, b) ->
+      let d_lo = Int64.to_int vaddr in
+      let d_hi = d_lo + Bytes.length b in
+      let lo = max p_lo d_lo and hi = min p_hi d_hi in
+      if lo < hi then Bytes.blit b (lo - d_lo) page (lo - p_lo) (hi - lo))
+    deltas;
+  page
+
+let file_page (t : t) (m : manifest) ~(vaddr : int64) : bytes option =
+  match Mem.find_vma m.m_mem vaddr with
+  | Some { Mem.va_file = Some (path, off); va_start; _ } -> (
+      let off = off + Int64.to_int (Int64.sub vaddr va_start) in
+      try Some (Restore.file_bytes t.machine ~path ~off ~len:Mem.page_size)
+      with Restore.Restore_error _ -> None)
+  | _ -> None
+
+let repair (t : t) (f : finding) : repair_outcome =
+  Fault.site ~scope:f.f_pid "integrity.repair";
+  let t0 = t.machine.Machine.clock in
+  charge t cost_repair;
+  let entry =
+    match List.assoc_opt f.f_pid t.manifests with
+    | None -> None
+    | Some m ->
+        Array.fold_left
+          (fun acc e -> if e.e_vaddr = f.f_vaddr then Some (m, e) else acc)
+          None m.m_entries
+  in
+  match entry with
+  | None -> Repair_failed "no baseline entry for the page"
+  | Some (m, e) -> (
+      let sources =
+        [
+          ( "working",
+            fun () ->
+              page_from_image t ~vaddr:f.f_vaddr
+                ~path:(Dynacut.image_path t.session f.f_pid) );
+          ( "pristine",
+            fun () ->
+              Option.map
+                (fun b ->
+                  apply_deltas ~page_base:f.f_vaddr b
+                    (Dynacut.committed_deltas t.session ~pid:f.f_pid))
+                (page_from_image t ~vaddr:f.f_vaddr
+                   ~path:(Dynacut.pristine_path t.session f.f_pid)) );
+          ("file", fun () -> file_page t m ~vaddr:f.f_vaddr);
+          ("snapshot", fun () -> Some e.e_snapshot);
+        ]
+      in
+      let chosen =
+        List.fold_left
+          (fun acc (name, get) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match get () with
+                | Some b
+                  when Bytes.length b = Mem.page_size
+                       && Mem.digest_bytes b = f.f_expected ->
+                    Some (name, b)
+                | _ -> None))
+          None sources
+      in
+      match chosen with
+      | None ->
+          Obs.incr t.c_repair_failed;
+          Obs.event ~kind:"integrity"
+            (Printf.sprintf "repair failed pid=%d vaddr=0x%Lx" f.f_pid f.f_vaddr);
+          Repair_failed "no source reproduces the expected digest"
+      | Some (name, b) ->
+          Mem.poke_bytes m.m_mem f.f_vaddr b;
+          (match Mem.page_gen m.m_mem f.f_vaddr with
+          | Some g -> e.e_gen <- g
+          | None -> ());
+          Obs.incr (Obs.counter ~labels:[ ("source", name) ] "integrity.repairs");
+          Obs.observe t.h_repair
+            (Int64.to_float (Int64.sub t.machine.Machine.clock t0));
+          Obs.event ~kind:"integrity"
+            (Printf.sprintf "repaired pid=%d vaddr=0x%Lx from %s" f.f_pid
+               f.f_vaddr name);
+          Repaired name)
+
+let respawn_cost (t : t) ~(pid : int) : int =
+  let pages =
+    match List.assoc_opt pid t.manifests with
+    | Some m -> Array.length m.m_entries
+    | None -> 0
+  in
+  cost_respawn_fixed + (cost_respawn_page * max 1 pages)
+
+let charge_respawn (t : t) ~(pid : int) : unit = charge t (respawn_cost t ~pid)

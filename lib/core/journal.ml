@@ -149,9 +149,14 @@ let read (t : t) : record list * bool =
   match Vfs.find t.fs (journal_path t) with
   | None -> ([], false)
   | Some blob ->
-      let payloads, torn = Validate.unseal_frames blob in
+      let payloads, tear = Validate.unseal_frames blob in
+      (match tear with
+      | Some t ->
+          Obs.event ~kind:"journal"
+            (Format.asprintf "torn tail: %a" Validate.pp_tear t)
+      | None -> ());
       let rec decode acc = function
-        | [] -> (List.rev acc, torn)
+        | [] -> (List.rev acc, tear <> None)
         | p :: rest -> (
             match decode_record p with
             | r -> decode (r :: acc) rest
@@ -389,9 +394,14 @@ module Manifest = struct
     match Vfs.find t.fs t.path with
     | None -> ([], false)
     | Some blob ->
-        let payloads, torn = Validate.unseal_frames blob in
+        let payloads, tear = Validate.unseal_frames blob in
+        (match tear with
+        | Some t ->
+            Obs.event ~kind:"manifest"
+              (Format.asprintf "torn tail: %a" Validate.pp_tear t)
+        | None -> ());
         let rec decode acc = function
-          | [] -> (List.rev acc, torn)
+          | [] -> (List.rev acc, tear <> None)
           | p :: rest -> (
               match decode_entry p with
               | e -> decode (e :: acc) rest

@@ -138,46 +138,69 @@ let seal (payload : string) : string =
   string b payload;
   contents b
 
-(** Strip and verify the checksum header. Raises {!Validate_error} on a
-    missing header, a short file, or a checksum mismatch. *)
+(* how a seal fails: the three distinguishable damage classes, each
+   located by the byte offset where the reader gave up *)
+type tear_kind = Truncated | Bad_magic | Checksum_mismatch
+
+let tear_kind_to_string = function
+  | Truncated -> "truncated"
+  | Bad_magic -> "bad-magic"
+  | Checksum_mismatch -> "checksum-mismatch"
+
+type tear = { t_offset : int; t_kind : tear_kind }
+
+let pp_tear fmt t =
+  Format.fprintf fmt "%s at byte %d" (tear_kind_to_string t.t_kind) t.t_offset
+
+(** Strip and verify the checksum header. Raises {!Validate_error}
+    naming the failure kind (truncated / bad-magic / checksum-mismatch)
+    and the byte offset where the reader gave up. *)
 let unseal (blob : string) : string =
-  if String.length blob < header_size then fail "image truncated: %d bytes" (String.length blob);
+  if String.length blob < header_size then
+    fail "image truncated at byte %d: seal header needs %d bytes"
+      (String.length blob) header_size;
   if String.sub blob 0 (String.length seal_magic) <> seal_magic then
-    fail "image lacks checksum header";
+    fail "image bad-magic at byte 0: no checksum header";
   let open Bytesx.R in
   let r = of_string blob in
   let (_ : string) = take r (String.length seal_magic) in
   let len = int_of_u64 r in
   let sum = u64 r in
   if len < 0 || len > remaining r then
-    fail "image truncated: header says %d bytes, have %d" len (remaining r);
+    fail "image truncated at byte %d: header says %d payload bytes, have %d"
+      (String.length blob) len (remaining r);
   let payload = take r len in
   if checksum payload <> sum then
-    fail "image checksum mismatch (0x%Lx, expected 0x%Lx)" (checksum payload) sum;
+    fail "image checksum-mismatch at byte %d (0x%Lx, expected 0x%Lx)"
+      header_size (checksum payload) sum;
   payload
 
 (** A journal file is a plain concatenation of sealed frames — each one
     self-delimiting thanks to the length in the seal header. Split the
-    valid prefix into payloads; the [bool] is true when the tail was
-    torn (truncated mid-frame, bad magic, or checksum mismatch). A torn
-    tail is expected after a crash: the caller keeps the prefix. *)
-let unseal_frames (blob : string) : string list * bool =
+    valid prefix into payloads; a torn tail (truncated mid-frame, bad
+    magic, or checksum mismatch) comes back as [Some tear] locating the
+    start of the frame that failed and how. A torn tail is expected
+    after a crash: the caller keeps the prefix. *)
+let unseal_frames (blob : string) : string list * tear option =
   let magic_len = String.length seal_magic in
   let total = String.length blob in
+  let tear off kind = Some { t_offset = off; t_kind = kind } in
   let rec go acc off =
-    if off >= total then (List.rev acc, false)
-    else if total - off < header_size then (List.rev acc, true)
-    else if String.sub blob off magic_len <> seal_magic then (List.rev acc, true)
+    if off >= total then (List.rev acc, None)
+    else if total - off < header_size then (List.rev acc, tear off Truncated)
+    else if String.sub blob off magic_len <> seal_magic then
+      (List.rev acc, tear off Bad_magic)
     else
       let open Bytesx.R in
       let r = of_string (String.sub blob off (total - off)) in
       let (_ : string) = take r magic_len in
       let len = int_of_u64 r in
       let sum = u64 r in
-      if len < 0 || len > remaining r then (List.rev acc, true)
+      if len < 0 || len > remaining r then (List.rev acc, tear off Truncated)
       else
         let payload = take r len in
-        if checksum payload <> sum then (List.rev acc, true)
+        if checksum payload <> sum then
+          (List.rev acc, tear off Checksum_mismatch)
         else go (payload :: acc) (off + header_size + len)
   in
   go [] 0

@@ -17,14 +17,30 @@ val seal : string -> string
 
 val unseal : string -> string
 (** Verify and strip the seal; raises {!Validate_error} on truncation or
-    corruption. *)
+    corruption. The message names the failure kind (truncated /
+    bad-magic / checksum-mismatch) and the byte offset where the reader
+    gave up. *)
 
-val unseal_frames : string -> string list * bool
+type tear_kind =
+  | Truncated  (** blob ends mid-header or mid-payload *)
+  | Bad_magic  (** bytes at the frame boundary are not a seal header *)
+  | Checksum_mismatch  (** frame intact in shape, payload corrupted *)
+
+type tear = {
+  t_offset : int;  (** byte offset of the start of the torn frame *)
+  t_kind : tear_kind;
+}
+
+val tear_kind_to_string : tear_kind -> string
+val pp_tear : Format.formatter -> tear -> unit
+
+val unseal_frames : string -> string list * tear option
 (** Split a concatenation of sealed frames (the journal file layout)
-    into the payloads of the longest valid prefix; the [bool] reports a
-    torn tail — truncation mid-frame, bad magic, or a checksum mismatch.
-    Never raises: a crash can tear the last frame, and the prefix is
-    exactly what recovery needs. *)
+    into the payloads of the longest valid prefix; [Some tear] reports a
+    torn tail — truncation mid-frame, bad magic, or a checksum mismatch
+    — located at the byte offset where the torn frame starts. Never
+    raises: a crash can tear the last frame, and the prefix is exactly
+    what recovery needs. *)
 
 val seal_at : site:string -> string -> string
 (** [seal], then pass the sealed frame through [Fault.corruptible site]:

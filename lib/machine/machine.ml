@@ -37,6 +37,53 @@ type t = {
   obs_syscalls : Obs.counter;  (** cost is paid at [create], not per insn *)
 }
 
+(* Flip one seeded bit in a resident page of an immutable (non-writable)
+   VMA — silent corruption of text/rodata, the failure the integrity
+   scrubber exists to catch. The victim is [pid] when given (and live),
+   else a seeded pick among live processes; the page, byte and bit are
+   seeded draws. Returns the victim pid and flipped address, or [None]
+   when there is nothing to corrupt. *)
+let bitflip t ?pid rng : (int * int64) option =
+  let live =
+    List.filter_map
+      (fun q ->
+        match Hashtbl.find_opt t.procs q with
+        | Some p when Proc.is_live p -> Some p
+        | _ -> None)
+      (List.rev t.spawn_order)
+  in
+  let victim =
+    match pid with
+    | Some q -> List.find_opt (fun (p : Proc.t) -> p.Proc.pid = q) live
+    | None -> ( match live with [] -> None | l -> Some (Rng.choose rng l))
+  in
+  match victim with
+  | None -> None
+  | Some p ->
+      let mem = p.Proc.mem in
+      let pages =
+        List.concat_map
+          (fun (v : Mem.vma) ->
+            if v.Mem.va_prot.Self.p_w then []
+            else List.map fst (Mem.pages_of_vma mem v))
+          mem.Mem.vmas
+      in
+      if pages = [] then None
+      else begin
+        let base = Rng.choose rng pages in
+        let addr = Int64.add base (Int64.of_int (Rng.int rng Mem.page_size)) in
+        let bit = Rng.int rng 8 in
+        Mem.flip_bit mem ~addr ~bit;
+        Obs.incr
+          (Obs.counter
+             ~labels:[ ("pid", string_of_int p.Proc.pid) ]
+             "integrity.bitflips");
+        Obs.event ~kind:"fault"
+          (Printf.sprintf "bitflip pid=%d vaddr=0x%Lx bit=%d" p.Proc.pid addr
+             bit);
+        Some (p.Proc.pid, addr)
+      end
+
 let create ?(seed = 42) () =
   let t =
     {
@@ -63,6 +110,10 @@ let create ?(seed = 42) () =
   (* delay-mode faults ([Fault.Delay n]) charge their latency to this
      machine's virtual clock — gray failures are slow, not wrong *)
   Fault.set_delay_hook (Some (fun n -> t.clock <- Int64.add t.clock (Int64.of_int n)));
+  (* bitflip-mode faults ([Fault.Bitflip]) corrupt a resident immutable
+     page of this machine's scoped (or seeded) victim — silently *)
+  Fault.set_bitflip_hook
+    (Some (fun ~scope rng -> ignore (bitflip t ?pid:scope rng)));
   t
 
 let proc t pid = Hashtbl.find_opt t.procs pid

@@ -36,8 +36,16 @@ type t = {
 
 val create : ?seed:int -> unit -> t
 (** Also installs this machine's virtual clock as the registry's
-    timestamp source ([Obs.set_clock]); the most recently created
-    machine wins. *)
+    timestamp source ([Obs.set_clock]) and its {!bitflip} injector as
+    the [Fault.Bitflip] hook; the most recently created machine wins. *)
+
+val bitflip : t -> ?pid:int -> Rng.t -> (int * int64) option
+(** Flip one seeded bit in a resident page of an immutable
+    (non-writable) VMA — silent corruption of text/rodata. The victim is
+    [?pid] when given (and live), else a seeded pick among live
+    processes; page, byte and bit are drawn from [rng]. Returns the
+    victim pid and the flipped address; [None] when nothing qualifies.
+    Installed as the [Fault.Bitflip] hook by {!create}. *)
 
 (** {2 Processes} *)
 

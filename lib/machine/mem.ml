@@ -23,7 +23,15 @@ type vma = {
 
 let vma_end v = Int64.add v.va_start (Int64.of_int v.va_len)
 
-type page = { pg_data : bytes; mutable pg_prot : Self.prot }
+type page = {
+  pg_data : bytes;
+  mutable pg_prot : Self.prot;
+  mutable pg_gen : int;
+      (** write generation: bumped on every store into the page,
+          including kernel pokes and hardware-level bit flips — the
+          dirty-tracking signal the integrity scrubber uses to skip
+          provably-unchanged pages without hashing them *)
+}
 
 type t = {
   pages : (int64, page) Hashtbl.t;  (** page index -> page *)
@@ -61,7 +69,8 @@ let map t ~vaddr ~len ~prot ?(file = None) ~name () =
   let npages = len / page_size in
   for i = 0 to npages - 1 do
     let idx = Int64.add (page_index vaddr) (Int64.of_int i) in
-    Hashtbl.replace t.pages idx { pg_data = Bytes.make page_size '\x00'; pg_prot = prot }
+    Hashtbl.replace t.pages idx
+      { pg_data = Bytes.make page_size '\x00'; pg_prot = prot; pg_gen = 0 }
   done;
   v
 
@@ -179,6 +188,7 @@ let fetch8 t addr =
 
 let write8 t addr v =
   let p = get_page t addr Write in
+  p.pg_gen <- p.pg_gen + 1;
   Bytes.set p.pg_data (page_offset addr) (Char.chr (v land 0xff))
 
 (** Raw write ignoring protections — used only by the loader and by
@@ -186,7 +196,9 @@ let write8 t addr v =
 let poke8 t addr v =
   match Hashtbl.find_opt t.pages (page_index addr) with
   | None -> raise (Fault (addr, Write))
-  | Some p -> Bytes.set p.pg_data (page_offset addr) (Char.chr (v land 0xff))
+  | Some p ->
+      p.pg_gen <- p.pg_gen + 1;
+      Bytes.set p.pg_data (page_offset addr) (Char.chr (v land 0xff))
 
 let peek8 t addr =
   match Hashtbl.find_opt t.pages (page_index addr) with
@@ -209,6 +221,7 @@ let read64 t addr =
 let write64 t addr (v : int64) =
   if page_offset addr <= page_size - 8 then (
     let p = get_page t addr Write in
+    p.pg_gen <- p.pg_gen + 1;
     Bytes.set_int64_le p.pg_data (page_offset addr) v)
   else
     for i = 0 to 7 do
@@ -254,7 +267,9 @@ let read_cstring t addr =
 let copy t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter
-    (fun k p -> Hashtbl.replace pages k { pg_data = Bytes.copy p.pg_data; pg_prot = p.pg_prot })
+    (fun k p ->
+      Hashtbl.replace pages k
+        { pg_data = Bytes.copy p.pg_data; pg_prot = p.pg_prot; pg_gen = p.pg_gen })
     t.pages;
   { pages; vmas = t.vmas }
 
@@ -271,6 +286,44 @@ let pages_of_vma t (v : vma) =
     (List.init n Fun.id)
 
 let total_mapped_bytes t = Hashtbl.length t.pages * page_size
+
+(* ---------- page integrity primitives ---------- *)
+
+(* FNV-1a over raw bytes — same function family as the image seal, but
+   local: Mem sits below the criu layer. *)
+let digest_bytes (b : bytes) : int64 =
+  let h = ref 0xCBF29CE484222325L in
+  Bytes.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001B3L)
+    b;
+  !h
+
+(** Digest of the resident page containing [addr]; [None] when the page
+    is not populated. *)
+let page_digest t addr =
+  Option.map
+    (fun p -> digest_bytes p.pg_data)
+    (Hashtbl.find_opt t.pages (page_index addr))
+
+(** Write generation of the resident page containing [addr]. *)
+let page_gen t addr =
+  Option.map (fun p -> p.pg_gen) (Hashtbl.find_opt t.pages (page_index addr))
+
+(** Flip one bit in a resident page, ignoring protections — the seeded
+    silent-corruption injector ([Fault.Bitflip]). Bumps the write
+    generation: the generation models hardware-level modification
+    telemetry (a dirty bit), which a bit flip trips even though every
+    software write path was bypassed. Raises {!Fault} when the page is
+    not populated. *)
+let flip_bit t ~addr ~bit =
+  if bit < 0 || bit > 7 then invalid_arg "Mem.flip_bit: bit outside 0..7";
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> raise (Fault (addr, Write))
+  | Some p ->
+      let off = page_offset addr in
+      p.pg_gen <- p.pg_gen + 1;
+      Bytes.set p.pg_data off
+        (Char.chr (Char.code (Bytes.get p.pg_data off) lxor (1 lsl bit)))
 
 (** Find a free, page-aligned gap of [len] bytes at or after [hint]. *)
 let find_free t ~hint ~len =

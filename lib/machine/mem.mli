@@ -19,7 +19,14 @@ type vma = {
 
 val vma_end : vma -> int64
 
-type page = { pg_data : bytes; mutable pg_prot : Self.prot }
+type page = {
+  pg_data : bytes;
+  mutable pg_prot : Self.prot;
+  mutable pg_gen : int;
+      (** write generation: bumped on every store (including kernel pokes
+          and {!flip_bit}) — the dirty-tracking signal the integrity
+          scrubber uses to skip provably-unchanged pages cheaply *)
+}
 
 type t = { pages : (int64, page) Hashtbl.t; mutable vmas : vma list }
 
@@ -82,6 +89,25 @@ val pages_of_vma : t -> vma -> (int64 * bytes) list
 (** Populated pages of a VMA in address order. *)
 
 val total_mapped_bytes : t -> int
+
+(** {2 Page integrity primitives} *)
+
+val digest_bytes : bytes -> int64
+(** FNV-1a over raw bytes (the page-digest function). *)
+
+val page_digest : t -> int64 -> int64 option
+(** Digest of the resident page containing the address; [None] when the
+    page is not populated. *)
+
+val page_gen : t -> int64 -> int option
+(** Write generation of the resident page containing the address. *)
+
+val flip_bit : t -> addr:int64 -> bit:int -> unit
+(** Flip one bit in a resident page, ignoring protections — the seeded
+    silent-corruption injector behind [Fault.Bitflip]. Bumps the page's
+    write generation (the generation models a hardware dirty bit, which
+    a flip trips even though software write paths were bypassed).
+    Raises {!Fault} on a non-resident page. *)
 
 val find_free : t -> hint:int64 -> len:int -> int64
 (** First page-aligned gap of [len] bytes at or after [hint]. *)

@@ -46,7 +46,7 @@ let test_replay_roundtrip () =
         true
         (Schedule.mode_of_string (Fault.mode_to_string m) = m))
     [ Fault.Fail; Fault.Kill; Fault.Delay 25_000; Fault.Corrupt;
-      Fault.Enospc; Fault.Eio ];
+      Fault.Enospc; Fault.Eio; Fault.Bitflip ];
   (* malformed files are rejected, not half-parsed *)
   let rejects text =
     match Schedule.of_replay text with
@@ -68,6 +68,40 @@ let test_replay_roundtrip () =
   Alcotest.(check int) "seed parsed" 11 s.Schedule.sc_seed;
   Alcotest.(check int) "one event" 1 (List.length s.Schedule.sc_events)
 
+(* a well-formed file from a future format version must be refused with
+   the dedicated exception — never half-parsed into a different
+   schedule than the one that failed *)
+let test_replay_future_version_rejected () =
+  let v2 = "chaos-replay v2\nseed 3\nevent net.serve fail nth 1\n" in
+  (match Schedule.of_replay v2 with
+  | (_ : Schedule.t) -> Alcotest.fail "v2 file parsed as v1"
+  | exception Schedule.Unsupported_version { uv_found; uv_supported } ->
+      Alcotest.(check string) "found version" "v2" uv_found;
+      Alcotest.(check string) "supported version" "v1" uv_supported);
+  (* the registered printer renders both versions for the human *)
+  (match Schedule.of_replay v2 with
+  | (_ : Schedule.t) -> Alcotest.fail "v2 file parsed as v1"
+  | exception e ->
+      let msg = Printexc.to_string e in
+      let has needle =
+        let nl = String.length needle and hl = String.length msg in
+        let rec go i =
+          i + nl <= hl && (String.sub msg i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "printer names versions (%s)" msg)
+        true
+        (has "v2" && has "v1"));
+  (* a header that is not a replay header at all still gets the generic
+     rejection, not the version error *)
+  match Schedule.of_replay "chaos-replayv2\nseed 3\n" with
+  | (_ : Schedule.t) -> Alcotest.fail "junk header parsed"
+  | exception Invalid_argument _ -> ()
+  | exception Schedule.Unsupported_version _ ->
+      Alcotest.fail "junk header misread as a future version"
+
 (* ---------- fault modes end-to-end under the oracles ---------- *)
 
 let sched seed events =
@@ -88,6 +122,19 @@ let test_corrupt_journal_clean () =
   let r = Chaos.run s in
   Alcotest.(check bool) "the corruption fired" true
     (List.mem_assoc "journal.append" r.Chaos.r_fired);
+  Alcotest.(check bool)
+    (Format.asprintf "no violations: %a" Chaos.pp_report r)
+    true (Chaos.passed r)
+
+(* a scheduled bitflip lands silently in a resident immutable page: the
+   background scrubber must detect it within the run and heal it — the
+   scrub oracle fails the run if a surviving flip went unnoticed or any
+   page still diverges after the forced post-run audit *)
+let test_bitflip_detected_and_healed () =
+  let s = sched 305 [ ("scrub.page", Fault.Bitflip, Schedule.Nth 2) ] in
+  let r = Chaos.run s in
+  Alcotest.(check bool) "the bitflip fired" true
+    (List.mem_assoc "scrub.page" r.Chaos.r_fired);
   Alcotest.(check bool)
     (Format.asprintf "no violations: %a" Chaos.pp_report r)
     true (Chaos.passed r)
@@ -176,15 +223,56 @@ let test_ddmin_pure () =
   let m1 = Shrink.minimize ~failing:(fun _ -> true) s1 in
   Alcotest.(check int) "singleton stays" 1 (List.length m1.Schedule.sc_events)
 
+(* degenerate shrinker inputs: the contract is "the caller found a
+   violating run; minimize only makes it smaller" — the empty, the
+   singleton, and the already-1-minimal schedule must all come back
+   unchanged, without calling [failing] more than ddmin needs *)
+let test_ddmin_degenerate () =
+  let ev site =
+    { Schedule.ev_site = site; ev_mode = Fault.Fail; ev_trigger = Schedule.Nth 1 }
+  in
+  (* empty schedule: nothing to drop, no predicate call required *)
+  let s0 = { Schedule.sc_seed = 9; sc_events = [] } in
+  let calls = ref 0 in
+  let m0 =
+    Shrink.minimize ~failing:(fun _ -> incr calls; true) s0
+  in
+  Alcotest.(check int) "empty schedule stays empty" 0
+    (List.length m0.Schedule.sc_events);
+  Alcotest.(check int) "empty seed unchanged" 9 m0.Schedule.sc_seed;
+  Alcotest.(check int) "empty schedule needs no runs" 0 !calls;
+  (* single-fault schedule: comes back identical even when the predicate
+     also fails on the (never-tried) empty subset *)
+  let s1 = { Schedule.sc_seed = 10; sc_events = [ ev "criu.save" ] } in
+  let m1 = Shrink.minimize ~failing:(fun _ -> true) s1 in
+  Alcotest.(check bool) "singleton unchanged" true (m1 = s1);
+  (* already-1-minimal: every event is load-bearing, so ddmin and the
+     pruning pass must keep all of them in order *)
+  let s3 =
+    { Schedule.sc_seed = 11; sc_events = List.map ev [ "a"; "b"; "c" ] }
+  in
+  let failing (sc : Schedule.t) =
+    List.length sc.Schedule.sc_events = 3
+  in
+  let m3 = Shrink.minimize ~failing s3 in
+  Alcotest.(check (list string)) "1-minimal triple kept in order"
+    [ "a"; "b"; "c" ]
+    (List.map (fun e -> e.Schedule.ev_site) m3.Schedule.sc_events)
+
 let suite =
   [
     Alcotest.test_case "schedule generation deterministic" `Quick
       test_generate_deterministic;
     Alcotest.test_case "replay file round-trip + rejects" `Quick
       test_replay_roundtrip;
+    Alcotest.test_case "replay future version refused" `Quick
+      test_replay_future_version_rejected;
     Alcotest.test_case "ddmin pure semantics" `Quick test_ddmin_pure;
+    Alcotest.test_case "ddmin degenerate inputs" `Quick test_ddmin_degenerate;
     Alcotest.test_case "corrupt journal caught cleanly" `Slow
       test_corrupt_journal_clean;
+    Alcotest.test_case "bitflip detected and healed" `Slow
+      test_bitflip_detected_and_healed;
     Alcotest.test_case "enospc is a clean refusal" `Slow
       test_enospc_clean_refusal;
     Alcotest.test_case "broken invariant shrunk + replayed" `Slow

@@ -190,40 +190,107 @@ let test_image_read_write_mem () =
   Alcotest.(check bool) "restored" true (Bytes.equal before (Images.read_mem img main_va 4))
 
 (* unseal_frames edge cases: the journal reader must keep exactly the
-   valid prefix and flag everything else as a torn tail *)
+   valid prefix and report everything else as a located torn tail *)
 let test_unseal_frames_edges () =
+  let tear_kind =
+    Alcotest.testable
+      (fun ppf k -> Format.pp_print_string ppf (Validate.tear_kind_to_string k))
+      ( = )
+  in
   (* empty file: no frames, not torn — a journal that was never written *)
-  let frames, torn = Validate.unseal_frames "" in
+  let frames, tear = Validate.unseal_frames "" in
   Alcotest.(check (list string)) "empty file has no frames" [] frames;
-  Alcotest.(check bool) "empty file is not torn" false torn;
+  Alcotest.(check bool) "empty file is not torn" true (tear = None);
   (* duplicate frame: concatenation is dumb, both copies come back *)
   let f = Validate.seal "payload-a" in
-  let frames, torn = Validate.unseal_frames (f ^ f) in
+  let frames, tear = Validate.unseal_frames (f ^ f) in
   Alcotest.(check (list string))
     "duplicate frame kept twice"
     [ "payload-a"; "payload-a" ] frames;
-  Alcotest.(check bool) "duplicates are not torn" false torn;
-  (* garbage after a valid prefix: prefix kept, tail flagged torn *)
-  let frames, torn =
-    Validate.unseal_frames (f ^ Validate.seal "payload-b" ^ "garbage tail")
-  in
+  Alcotest.(check bool) "duplicates are not torn" true (tear = None);
+  (* garbage after a valid prefix: prefix kept, tear locates the frame
+     boundary where the garbage starts and names the kind (too short for
+     a header → truncated) *)
+  let g = Validate.seal "payload-b" in
+  let frames, tear = Validate.unseal_frames (f ^ g ^ "garbage tail") in
   Alcotest.(check (list string))
     "valid prefix survives garbage"
     [ "payload-a"; "payload-b" ] frames;
-  Alcotest.(check bool) "garbage tail is torn" true torn;
-  (* a frame whose checksum lies also ends the prefix *)
+  (match tear with
+  | None -> Alcotest.fail "garbage tail must tear"
+  | Some t ->
+      Alcotest.(check int)
+        "tear offset is the start of the garbage"
+        (String.length f + String.length g)
+        t.Validate.t_offset;
+      Alcotest.check tear_kind "short tail reads as truncated"
+        Validate.Truncated t.Validate.t_kind);
+  (* a frame whose checksum lies also ends the prefix, located at the
+     mangled frame's start *)
   let mangled = Bytes.of_string (Validate.seal "payload-c") in
   Bytes.set mangled (Bytes.length mangled - 1) '\xFF';
-  let frames, torn = Validate.unseal_frames (f ^ Bytes.to_string mangled) in
+  let frames, tear = Validate.unseal_frames (f ^ Bytes.to_string mangled) in
   Alcotest.(check (list string))
     "checksum mismatch ends the prefix" [ "payload-a" ] frames;
-  Alcotest.(check bool) "mismatch is torn" true torn
+  (match tear with
+  | None -> Alcotest.fail "checksum mismatch must tear"
+  | Some t ->
+      Alcotest.(check int)
+        "tear offset is the mangled frame's start" (String.length f)
+        t.Validate.t_offset;
+      Alcotest.check tear_kind "kind is checksum-mismatch"
+        Validate.Checksum_mismatch t.Validate.t_kind);
+  (* a full-sized frame of wrong magic tears as bad-magic at its start *)
+  let junk_header = String.make (String.length f) 'Z' in
+  let frames, tear = Validate.unseal_frames (f ^ junk_header) in
+  Alcotest.(check (list string)) "prefix kept before bad magic" [ "payload-a" ] frames;
+  (match tear with
+  | None -> Alcotest.fail "bad magic must tear"
+  | Some t ->
+      Alcotest.(check int) "bad-magic offset" (String.length f) t.Validate.t_offset;
+      Alcotest.check tear_kind "kind is bad-magic" Validate.Bad_magic
+        t.Validate.t_kind)
+
+(* unseal error messages carry the failure kind and a byte offset, so a
+   corrupt image on the tmpfs is diagnosable from the exception alone *)
+let test_unseal_error_offsets () =
+  let msg_of blob =
+    match Validate.unseal blob with
+    | (_ : string) -> Alcotest.fail "unseal accepted a corrupt blob"
+    | exception Validate.Validate_error m -> m
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  (* short blob: truncated at its own length *)
+  let m = msg_of "abc" in
+  Alcotest.(check bool)
+    (Printf.sprintf "short blob names truncation (%s)" m)
+    true
+    (contains m "truncated at byte 3");
+  (* wrong magic: bad-magic at byte 0 *)
+  let m = msg_of (String.make 64 'Z') in
+  Alcotest.(check bool)
+    (Printf.sprintf "wrong magic located at 0 (%s)" m)
+    true
+    (contains m "bad-magic at byte 0");
+  (* flipped payload byte: checksum mismatch at the payload start *)
+  let sealed = Bytes.of_string (Validate.seal "payload") in
+  Bytes.set sealed (Bytes.length sealed - 1) '\xFF';
+  let m = msg_of (Bytes.to_string sealed) in
+  Alcotest.(check bool)
+    (Printf.sprintf "checksum mismatch locates the payload (%s)" m)
+    true
+    (contains m "checksum-mismatch at byte 21")
 
 let suite =
   [
     Alcotest.test_case "dump/restore identity" `Quick test_dump_restore_identity;
     Alcotest.test_case "unseal_frames edge cases" `Quick
       test_unseal_frames_edges;
+    Alcotest.test_case "unseal error offsets" `Quick test_unseal_error_offsets;
     Alcotest.test_case "binary codec roundtrip" `Quick test_binary_codec_roundtrip;
     Alcotest.test_case "CRIT text roundtrip" `Quick test_crit_text_roundtrip;
     Alcotest.test_case "CRIT mems listing" `Quick test_crit_show_mems;

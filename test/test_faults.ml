@@ -420,6 +420,8 @@ let test_known_sites_registry () =
         "net.accept_queue";
         "net.serve";
         "fleet.shed";
+        "scrub.page";
+        "integrity.repair";
       ]
   in
   List.iter
