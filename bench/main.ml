@@ -329,6 +329,11 @@ let run_fleet () =
       Printf.fprintf oc ",\n  \"served_w%d\": %d,\n  \"req_per_mcycle_w%d\": %.2f"
         n served n per_mcycle)
     throughput;
+  (* flat throughput across worker counts is expected for now: every
+     worker steps on the one serialized interpreter (ROADMAP item 1,
+     decoded-block cache + superblock dispatch); the field lets the
+     perf trajectory tell "fan-out broken" from "interpreter-bound" *)
+  Printf.fprintf oc ",\n  \"serialized_interpreter\": true";
   Printf.fprintf oc ",\n  \"rollout_workers\": %d,\n  \"rollout_waves\": %d" wn
     waves;
   List.iter
@@ -763,6 +768,256 @@ let run_scrub () =
   close_out oc;
   Format.fprintf fmt "  wrote BENCH_scrub.json@."
 
+(* ---------- slice: sliced-away wins + tracing overhead ---------- *)
+
+(* The dataflow-slicing ledger: how many covered blocks the slicer cuts
+   *beyond* the coverage diff on ltpd and rkv (the Sliced_away class is
+   disjoint from the classic one by construction — candidates live
+   inside the wanted coverage), whether the cut survives the verifier
+   convergence loop with the wanted feature intact, that a seeded
+   counterexample restores a wrongly sliced block bit-for-bit
+   reproducibly, and what the per-instruction tracer costs while
+   attached (min-vs-min, same discipline as BENCH_obs.json). Two seeded
+   profiling runs must produce byte-identical observability dumps.
+   Emits BENCH_slice.json. *)
+let run_slice () =
+  Common.section fmt "Slice: sliced-away candidates, verify loop, overhead";
+  let apps = [ Workload.ltpd; Workload.rkv ] in
+  let per_app =
+    List.map
+      (fun app ->
+        let name = app.Workload.a_name in
+        Fault.reset ();
+        Obs.reset ();
+        let p = Slicelab.profile app in
+        Format.fprintf fmt
+          "  %s: %d covered blocks, %d slice points -> %d sliced away (%d own)@."
+          name p.Slicelab.p_report.Tracediff.n_covered
+          p.Slicelab.p_report.Tracediff.n_slice_points
+          (List.length p.Slicelab.p_report.Tracediff.sliced)
+          (List.length p.Slicelab.p_blocks);
+        if p.Slicelab.p_blocks = [] then
+          failwith (Printf.sprintf "slice: no sliced-away candidates on %s" name);
+        let classic, overlap =
+          Slicelab.coverage_diff_overlap app p.Slicelab.p_blocks
+        in
+        if overlap <> 0 then
+          failwith
+            (Printf.sprintf
+               "slice: %d of %s's sliced-away blocks overlap the coverage \
+                diff — the class is not additive"
+               overlap name);
+        Format.fprintf fmt
+          "  %s: coverage diff finds %d blocks; all %d sliced-away blocks \
+           are extra@."
+          name classic
+          (List.length p.Slicelab.p_blocks);
+        (* cut the candidates and let the verifier evict false
+           positives; the wanted feature must come through intact *)
+        let v =
+          Slicelab.cut_and_converge app ~blocks:p.Slicelab.p_blocks ()
+        in
+        Format.fprintf fmt "  %s: %a" name Slicelab.pp_converge v;
+        (match v.Slicelab.v_rollout with
+        | Supervisor.R_promoted -> ()
+        | r ->
+            failwith
+              (Format.asprintf "slice: %s rollout %a" name Supervisor.pp_rollout
+                 r));
+        if v.Slicelab.v_kept = [] then
+          failwith
+            (Printf.sprintf
+               "slice: verifier evicted every candidate on %s — no win" name);
+        List.iter
+          (fun r ->
+            let reply = Workload.rpc v.Slicelab.v_ctx r in
+            let ok =
+              if name = "rkv" then
+                String.length reply > 0 && reply.[0] = '$' && reply <> "$-1"
+              else
+                String.length reply >= 12
+                && String.sub reply 0 12 = "HTTP/1.0 200"
+            in
+            if not ok then
+              failwith
+                (Printf.sprintf "slice: %s wanted feature broken post-cut: %s"
+                   name reply))
+          (Slicelab.drive_requests app);
+        (name, p, classic, v))
+      apps
+  in
+  (* seeded counterexample: the converged cut only exercised the GET
+     drive, so the other verbs' arms stay cut — probing one (HEAD) must
+     trap, restore the block bit-for-bit, serve the reply intact, and
+     surface the eviction through verifier feedback; the whole scenario
+     must replay identically from the same seed *)
+  let counterexample () =
+    let app = Workload.ltpd in
+    Fault.reset ();
+    let p = Slicelab.profile app in
+    let base = (Common.app_exe app).Self.base in
+    (* pristine first bytes of every candidate, from an uncut instance *)
+    let pc = Workload.spawn app in
+    Workload.wait_ready pc;
+    let pristine_byte (b : Covgraph.block) =
+      Mem.peek8
+        (Machine.proc_exn pc.Workload.m pc.Workload.pid).Proc.mem
+        (Int64.add base (Int64.of_int b.Covgraph.b_off))
+    in
+    let pristine =
+      List.map (fun b -> (b, pristine_byte b)) p.Slicelab.p_blocks
+    in
+    let v = Slicelab.cut_and_converge app ~blocks:p.Slicelab.p_blocks () in
+    let c = v.Slicelab.v_ctx in
+    let probe, expect = Slicelab.probe_request app in
+    let reply = Workload.rpc c probe in
+    let elen = String.length expect in
+    if String.length reply < elen || String.sub reply 0 elen <> expect then
+      failwith ("slice: probe not served through the verifier: " ^ reply);
+    let before = Supervisor.blocks v.Slicelab.v_sup in
+    let dropped_n = Supervisor.verifier_feedback v.Slicelab.v_sup in
+    if dropped_n = 0 then
+      failwith "slice: probe produced no verifier counterexample";
+    let after = Supervisor.blocks v.Slicelab.v_sup in
+    let dropped = List.filter (fun b -> not (List.mem b after)) before in
+    (* bit-for-bit: the restored first byte equals the linked binary's *)
+    List.iter
+      (fun (b : Covgraph.block) ->
+        let live =
+          Mem.peek8
+            (Machine.proc_exn c.Workload.m c.Workload.pid).Proc.mem
+            (Int64.add base (Int64.of_int b.Covgraph.b_off))
+        in
+        let want = List.assoc b pristine in
+        if live <> want then
+          failwith
+            (Printf.sprintf "slice: restored block %s+0x%x byte %02x != %02x"
+               b.Covgraph.b_module b.Covgraph.b_off live want))
+      dropped;
+    List.map
+      (fun (b : Covgraph.block) -> (b.Covgraph.b_module, b.Covgraph.b_off))
+      dropped
+  in
+  let cex1 = counterexample () in
+  let cex2 = counterexample () in
+  if cex1 <> cex2 then
+    failwith "slice: seeded counterexample scenario did not replay identically";
+  Format.fprintf fmt
+    "  counterexample: %d block(s) restored bit-for-bit, replayed identically@."
+    (List.length cex1);
+  (* tracing overhead: serve the profiling mix with and without the
+     slicer attached, best-of-interleaved (the obs discipline). The
+     per-instruction hook is allowed to be expensive — the check bounds
+     it (and catches a hook that never detaches: the off runs would
+     slow down and push the ratio under 1) *)
+  let serve ~sliced =
+    Gc.compact ();
+    let c = Workload.spawn ~seed:44 Workload.ltpd in
+    Workload.wait_ready c;
+    let sl =
+      if sliced then
+        Some
+          (Slicer.attach c.Workload.m ~pid:c.Workload.pid
+             ~wanted_out:(Slicelab.wanted_out_of Workload.ltpd) ())
+      else None
+    in
+    let (), dt =
+      Stats.time_it (fun () ->
+          List.iter
+            (fun r -> ignore (Workload.rpc c r))
+            (Slicelab.profile_requests Workload.ltpd))
+    in
+    Option.iter Slicer.detach sl;
+    dt
+  in
+  let iters = if !quick then 3 else 7 in
+  let best l = List.fold_left min infinity l in
+  let measure () =
+    ignore (serve ~sliced:true);
+    ignore (serve ~sliced:false);
+    let on = ref [] and off = ref [] in
+    for i = 1 to iters do
+      if i mod 2 = 0 then begin
+        on := serve ~sliced:true :: !on;
+        off := serve ~sliced:false :: !off
+      end
+      else begin
+        off := serve ~sliced:false :: !off;
+        on := serve ~sliced:true :: !on
+      end
+    done;
+    (best !on, best !off)
+  in
+  let attempts = 3 in
+  let rec bounded k =
+    let m_on, m_off = measure () in
+    let ratio = m_on /. m_off in
+    (* the tracer must cost something (>= 1x beyond jitter) and stay
+       within an order of magnitude of the interpreter (it adds a
+       bounded amount of work per instruction) *)
+    if ratio >= 0.98 && ratio <= 25. then (m_on, m_off, ratio)
+    else if k < attempts then begin
+      Format.fprintf fmt
+        "  overhead ratio %.2fx outside [0.98, 25]; re-measuring (%d/%d)@."
+        ratio (k + 1) attempts;
+      bounded (k + 1)
+    end
+    else
+      failwith
+        (Printf.sprintf
+           "slice: tracing overhead %.2fx outside [0.98, 25] after %d \
+            attempts"
+           ratio attempts)
+  in
+  let m_on, m_off, ratio = bounded 1 in
+  Format.fprintf fmt
+    "  serve best-case: slicer on %.6f s, off %.6f s — %.2fx@." m_on m_off
+    ratio;
+  (* determinism: two seeded profiles dump byte-identical registries
+     and identical slices *)
+  let dump () =
+    Obs.reset ();
+    let p = Slicelab.profile Workload.rkv in
+    (p.Slicelab.p_points, Obs.dump_json ())
+  in
+  let pts1, d1 = dump () in
+  let pts2, d2 = dump () in
+  if pts1 <> pts2 then failwith "slice: two seeded profiles sliced differently";
+  if not (String.equal d1 d2) then
+    failwith "slice: two seeded profiles dumped different registries";
+  Format.fprintf fmt
+    "  determinism: seeded profiles byte-identical (%d bytes, %d points)@."
+    (String.length d1) (List.length pts1);
+  let oc = open_out "BENCH_slice.json" in
+  Printf.fprintf oc "{\n  \"apps\": [%s]"
+    (String.concat ", "
+       (List.map (fun (n, _, _, _) -> Printf.sprintf "%S" n) per_app));
+  List.iter
+    (fun (n, p, classic, v) ->
+      Printf.fprintf oc ",\n  \"%s_covered\": %d" n
+        p.Slicelab.p_report.Tracediff.n_covered;
+      Printf.fprintf oc ",\n  \"%s_slice_points\": %d" n
+        p.Slicelab.p_report.Tracediff.n_slice_points;
+      Printf.fprintf oc ",\n  \"%s_sliced_away\": %d" n
+        (List.length p.Slicelab.p_blocks);
+      Printf.fprintf oc ",\n  \"%s_coverage_diff\": %d" n classic;
+      Printf.fprintf oc ",\n  \"%s_extra_beyond_coverage_diff\": %d" n
+        (List.length p.Slicelab.p_blocks);
+      Printf.fprintf oc ",\n  \"%s_kept_after_verify\": %d" n
+        (List.length v.Slicelab.v_kept);
+      Printf.fprintf oc ",\n  \"%s_verifier_restored\": %d" n
+        (List.length v.Slicelab.v_restored);
+      Printf.fprintf oc ",\n  \"%s_converge_rounds\": %d" n
+        v.Slicelab.v_rounds)
+    per_app;
+  Printf.fprintf oc ",\n  \"counterexample_blocks\": %d" (List.length cex1);
+  Printf.fprintf oc ",\n  \"serve_s_slicer_on\": %.6f" m_on;
+  Printf.fprintf oc ",\n  \"serve_s_slicer_off\": %.6f" m_off;
+  Printf.fprintf oc ",\n  \"tracing_overhead_x\": %.2f" ratio;
+  Printf.fprintf oc ",\n  \"deterministic\": true\n}\n";
+  close_out oc;
+  Format.fprintf fmt "  wrote BENCH_slice.json@."
+
 (* ---------- experiment registry ---------- *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -783,6 +1038,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("overload", "goodput + p99 vs offered load, shed on/off (§6b)", run_overload);
     ("chaos", "site x mode fault coverage + invariant oracles (§6c)", run_chaos);
     ("scrub", "memory-integrity scrubbing: detection, repair economics (§6d)", run_scrub);
+    ("slice", "dataflow slicing: sliced-away wins + tracing overhead (§7)", run_slice);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 

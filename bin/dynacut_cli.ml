@@ -259,6 +259,81 @@ let tracediff_cmd =
   in
   Cmd.v (Cmd.info "tracediff" ~doc ~man) Term.(const action $ wanted $ undesired)
 
+(* ---------- slice ---------- *)
+
+(* The slice is anchored at the wanted feature's success outputs, which
+   is fixed per app (the web servers' read-only GET path; rkv's GET
+   hits). FEATURE names that profile; anything else is a usage error. *)
+let check_slice_feature (app : Workload.app) = function
+  | None -> ()
+  | Some f ->
+      let known = if app.Workload.a_name = "rkv" then "get" else "read-only" in
+      if String.lowercase_ascii f <> known then begin
+        Printf.eprintf "no sliceable feature %S for %s (anchored feature: %s)\n"
+          f app.Workload.a_name known;
+        exit 2
+      end
+
+let slice_sample_arg =
+  let doc =
+    "Sampled tracing: each accepted connection is traced with \
+     probability $(docv), drawn from a seeded splitmix64 stream. Gaps \
+     under-approximate the slice and are repaid by the verifier \
+     counterexample loop."
+  in
+  Arg.(value & opt (some float) None & info [ "sample" ] ~docv:"P" ~doc)
+
+let slice_seed_arg =
+  let doc = "Machine and sampled-tracing seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let slice_cmd =
+  let feature =
+    let doc =
+      "Wanted feature whose success outputs anchor the slice: \
+       'read-only' (web servers) or 'get' (rkv). Defaults to the app's \
+       anchored feature; other names are rejected."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FEATURE" ~doc)
+  in
+  let action app feature sample seed verbose metrics =
+    let app = find_app app in
+    check_slice_feature app feature;
+    let sample = Option.map (fun p -> (Rng.create seed, p)) sample in
+    let p = Slicelab.profile ~seed ?sample app in
+    Format.printf "%a@." Slicer.pp_stats p.Slicelab.p_stats;
+    Format.printf
+      "%d covered blocks, %d slice points -> %d sliced away (%d own-module \
+       cut candidates)@."
+      p.Slicelab.p_report.Tracediff.n_covered
+      p.Slicelab.p_report.Tracediff.n_slice_points
+      (List.length p.Slicelab.p_report.Tracediff.sliced)
+      (List.length p.Slicelab.p_blocks);
+    if verbose then
+      Format.printf "%a" Tracediff.pp_slice_report p.Slicelab.p_report;
+    write_metrics metrics;
+    if p.Slicelab.p_blocks = [] then exit 6
+  in
+  let doc =
+    "Profile an app under the dataflow slicing tracer and dump slice \
+     stats plus the sliced-away cut candidates (covered blocks no \
+     wanted-output slice touches)."
+  in
+  let man =
+    [
+      `S "EXIT STATUS";
+      `P "0: slice computed; at least one sliced-away cut candidate found.";
+      `P "2: usage error (unknown app or feature).";
+      `P
+        "6: the slice covers every covered block — no sliced-away \
+         candidates to cut.";
+    ]
+  in
+  Cmd.v (Cmd.info "slice" ~doc ~man)
+    Term.(
+      const action $ app_arg $ feature $ slice_sample_arg $ slice_seed_arg
+      $ verbose_arg $ metrics_out_arg)
+
 (* ---------- cut ---------- *)
 
 let feature_blocks (app : Workload.app) feature =
@@ -298,12 +373,55 @@ let cut_cmd =
     let doc = "Re-enable the feature afterwards and probe again." in
     Arg.(value & flag & info [ "reenable" ] ~doc)
   in
-  let action app feature probes reenable faults seed list_sites verbose metrics =
+  let slice =
+    let doc =
+      "Cut the $(b,Sliced_away) candidate class instead of a coverage \
+       diff: profile the app under the dataflow slicing tracer, cut \
+       every covered block outside the wanted-output slice under the \
+       'Verify' trap policy, and converge by verifier feedback — each \
+       false positive is restored bit-for-bit, evicted from the cut, \
+       and re-joins the slice as a counterexample. FEATURE and \
+       --reenable are ignored."
+    in
+    Arg.(value & flag & info [ "slice" ] ~doc)
+  in
+  let slice_action app probes faults seed list_sites verbose metrics =
+    arm_faults ?seed faults;
+    let p = Slicelab.profile app in
+    Format.printf "%a@." Slicer.pp_stats p.Slicelab.p_stats;
+    let v =
+      Slicelab.cut_and_converge app ~blocks:p.Slicelab.p_blocks
+        ~on_counterexample:(fun (b : Covgraph.block) ->
+          Slicer.add_counterexample p.Slicelab.p_slicer
+            ~module_:b.Covgraph.b_module ~off:b.Covgraph.b_off;
+          Format.printf "verifier counterexample: %s+0x%x re-joins the slice@."
+            b.Covgraph.b_module b.Covgraph.b_off)
+        ()
+    in
+    Format.printf "%a" Slicelab.pp_converge v;
+    List.iter
+      (fun req ->
+        let req = Scanf.unescaped req in
+        Printf.printf ">> %S\n<< %S\n" req (Workload.rpc v.Slicelab.v_ctx req))
+      probes;
+    if faults <> [] then print_endline (Fault.report ());
+    if list_sites then print_fault_sites ~verbose ();
+    write_metrics metrics;
+    match v.Slicelab.v_rollout with
+    | Supervisor.R_promoted -> ()
+    | _ -> exit 3
+  in
+  let action app feature probes reenable slice faults seed list_sites verbose
+      metrics =
     if list_sites && app = None then begin
       print_fault_sites ~verbose ();
       exit 0
     end;
     let app = require_app app in
+    if slice then begin
+      slice_action app probes faults seed list_sites verbose metrics;
+      exit 0
+    end;
     let feature =
       match feature with
       | Some f -> f
@@ -355,8 +473,9 @@ let cut_cmd =
   Cmd.v
     (Cmd.info "cut" ~doc ~man:(exit_status_man []))
     Term.(
-      const action $ app_opt_arg $ feature $ probe $ reenable $ inject_fault_arg
-      $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg $ metrics_out_arg)
+      const action $ app_opt_arg $ feature $ probe $ reenable $ slice
+      $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg
+      $ metrics_out_arg)
 
 (* ---------- guard ---------- *)
 
@@ -389,9 +508,13 @@ let guard_cmd =
          & info [ "window" ] ~docv:"CYCLES" ~doc)
   in
   let max_traps =
-    let doc = "Traps tolerated per window before the breaker trips." in
-    Arg.(value & opt int Supervisor.default_config.Supervisor.max_traps
-         & info [ "max-traps" ] ~docv:"N" ~doc)
+    let doc =
+      "Traps tolerated per window before the breaker trips. Defaults to \
+       the supervisor's budget — except under --slice, where 'Verify' \
+       traps are self-healing restore events, so the default is \
+       effectively unbounded."
+    in
+    Arg.(value & opt (some int) None & info [ "max-traps" ] ~docv:"N" ~doc)
   in
   let cooldown =
     let doc = "Virtual cycles spent open before a half-open probe re-cut." in
@@ -421,33 +544,59 @@ let guard_cmd =
         Printf.eprintf "--storm is not supported for %s\n" n;
         exit 2
   in
-  let action app feature probes canary storm window max_traps cooldown max_trips
-      max_respawns slices faults seed list_sites verbose metrics =
+  let slice =
+    let doc =
+      "Guard a cut of the $(b,Sliced_away) candidate class: profile the \
+       app under the dataflow slicing tracer first, cut the candidates \
+       under the 'Verify' trap policy, and during the soak feed every \
+       verifier-restored false positive back into the slice as a \
+       counterexample. FEATURE and --storm are ignored."
+    in
+    Arg.(value & flag & info [ "slice" ] ~doc)
+  in
+  let action app feature probes canary storm slice window max_traps cooldown
+      max_trips max_respawns slices faults seed list_sites verbose metrics =
     if list_sites && app = None then begin
       print_fault_sites ~verbose ();
       exit 0
     end;
     let app = require_app app in
-    let feature =
-      match feature with
-      | Some f -> f
-      | None -> if app.Workload.a_name = "rkv" then "SET" else "put-delete"
-    in
-    let blocks, redirect = feature_blocks app feature in
-    (* A storm cut includes the wanted GET path. `Redirect would silently
-       drop it (same-function filter), so the storm uses `Terminate: the
-       first wanted request kills the canary — a maximally bad cut. *)
+    let slicer = ref None in
     let blocks, on_trap =
-      if storm then
-        ( blocks
-          @ [
-              Supervisor.block_of_sym (Common.app_exe app)
-                ~module_:app.Workload.a_name ~sym:(storm_sym app);
-            ],
-          `Terminate )
-      else (blocks, `Redirect redirect)
+      if slice then begin
+        let p = Slicelab.profile app in
+        Format.printf "%a@." Slicer.pp_stats p.Slicelab.p_stats;
+        slicer := Some p.Slicelab.p_slicer;
+        (p.Slicelab.p_blocks, `Verify)
+      end
+      else begin
+        let feature =
+          match feature with
+          | Some f -> f
+          | None -> if app.Workload.a_name = "rkv" then "SET" else "put-delete"
+        in
+        let blocks, redirect = feature_blocks app feature in
+        (* A storm cut includes the wanted GET path. `Redirect would silently
+           drop it (same-function filter), so the storm uses `Terminate: the
+           first wanted request kills the canary — a maximally bad cut. *)
+        if storm then
+          ( blocks
+            @ [
+                Supervisor.block_of_sym (Common.app_exe app)
+                  ~module_:app.Workload.a_name ~sym:(storm_sym app);
+              ],
+            `Terminate )
+        else (blocks, `Redirect redirect)
+      end
     in
     arm_faults ?seed faults;
+    let max_traps =
+      match max_traps with
+      | Some n -> n
+      | None ->
+          if slice then 100_000
+          else Supervisor.default_config.Supervisor.max_traps
+    in
     let c = Workload.spawn app in
     Workload.wait_ready c;
     let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
@@ -487,6 +636,25 @@ let guard_cmd =
     | Supervisor.R_promoted -> ());
     for _ = 1 to slices do
       drive ();
+      (match !slicer with
+      | Some sl ->
+          (* `Verify traps restore blocks in place; evict them from the
+             cut and re-join them to the slice as counterexamples *)
+          let before = Supervisor.blocks sup in
+          if Supervisor.verifier_feedback sup > 0 then begin
+            let after = Supervisor.blocks sup in
+            List.iter
+              (fun (b : Covgraph.block) ->
+                if not (List.mem b after) then begin
+                  Slicer.add_counterexample sl ~module_:b.Covgraph.b_module
+                    ~off:b.Covgraph.b_off;
+                  Format.printf
+                    "verifier counterexample: %s+0x%x re-joins the slice@."
+                    b.Covgraph.b_module b.Covgraph.b_off
+                end)
+              before
+          end
+      | None -> ());
       Supervisor.tick sup
     done;
     let code =
@@ -516,8 +684,8 @@ let guard_cmd =
   Cmd.v
     (Cmd.info "guard" ~doc ~man)
     Term.(
-      const action $ app_opt_arg $ feature $ probe $ canary $ storm $ window
-      $ max_traps $ cooldown $ max_trips $ max_respawns $ slices
+      const action $ app_opt_arg $ feature $ probe $ canary $ storm $ slice
+      $ window $ max_traps $ cooldown $ max_trips $ max_respawns $ slices
       $ inject_fault_arg $ fault_seed_arg $ list_fault_sites_arg $ verbose_arg
       $ metrics_out_arg)
 
@@ -1562,6 +1730,7 @@ let () =
             run_cmd;
             trace_cmd;
             tracediff_cmd;
+            slice_cmd;
             cut_cmd;
             guard_cmd;
             recover_cmd;

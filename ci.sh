@@ -63,6 +63,15 @@ echo "   $(echo "$sites_listed" | wc -l) sites in sync"
 echo "== bench --quick scrub =="
 dune exec bench/main.exe -- --quick scrub
 
+# Slicing smoke (DESIGN.md §7): profile ltpd and rkv under the dataflow
+# slicing tracer, assert the sliced-away class cuts covered blocks the
+# coverage diff cannot (disjoint by construction), converge the cut via
+# verifier feedback with the wanted feature intact, replay a seeded
+# counterexample bit-for-bit, and bound the tracing overhead
+# (min-vs-min serve ratio), written to BENCH_slice.json.
+echo "== bench --quick slice =="
+dune exec bench/main.exe -- --quick slice
+
 # Crash-recovery matrix (DESIGN.md §5d): kill the controller at every
 # registered fault site mid-cut, recover, and assert each pid is fully
 # cut XOR fully original. The matrix fails on any site left unexercised.

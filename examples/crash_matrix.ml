@@ -241,6 +241,41 @@ let crit site =
   assert_xor ~site ~what:"after recover" c session effective originals;
   assert_serving ~site ~what:"after recover" c
 
+(* Controller dies inside the slicing tracer — attaching its hooks
+   (slice.trace) or folding the dependency sets (slice.compute). The
+   tracer is read-only: no transaction is open, recovery must invent no
+   work, and a clean tracer retry over the untouched tree still yields
+   a slice. *)
+let slice_crash site =
+  let c = boot () in
+  let session = Dynacut.create c.Workload.m ~root_pid:c.Workload.pid in
+  let effective =
+    Dynacut.redirect_filter session ~sym:"ngx_declined" blocks
+  in
+  let originals = List.map (byte_of c c.Workload.pid) effective in
+  let run_slicer () =
+    let sl =
+      Slicer.attach c.Workload.m ~pid:c.Workload.pid
+        ~wanted_out:(Slicelab.wanted_out_of app) ()
+    in
+    ignore (Workload.rpc c get);
+    Slicer.detach sl;
+    Slicer.slice sl
+  in
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match run_slicer () with
+  | (_ : (string * int * int) list) ->
+      fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  let r = Dynacut.recover c.Workload.m ~root_pid:c.Workload.pid in
+  if r.Dynacut.rec_action <> `Nothing then
+    fail "%s: recovery invented work on a quiescent tree" site;
+  if run_slicer () = [] then
+    fail "%s: clean slicer retry produced an empty slice" site;
+  assert_xor ~site ~what:"after recover" c session effective originals;
+  assert_serving ~site ~what:"after recover" c
+
 (* Controller dies mid-cut AND the first recovery pass dies too; the
    second recovery pass must converge all the same. *)
 let recover_crash site =
@@ -570,6 +605,7 @@ let scenario_of_site site =
       match family site with
       | "criu" | "rewrite" | "inject" | "restore" | "journal" -> plain site
       | "crit" -> crit site
+      | "slice" -> slice_crash site
       | "balancer" | "net" -> balancer_request site
       | f ->
           fail "site %s (family %s) has no crash scenario — extend crash_matrix.ml"

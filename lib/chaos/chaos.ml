@@ -856,6 +856,29 @@ let fleet_recut_probe site mode =
   in
   fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
 
+(* fault strikes the dataflow slicing tracer: the hook attach
+   (slice.trace) or the final dependency-set fold (slice.compute).
+   Slicing is observation-only, so the contract is strict: whichever
+   way the fault goes, the guest is untouched (still serving, no hooks
+   left behind) and a clean retry produces a non-empty slice *)
+let slice_probe site mode =
+  let c = Workload.spawn Workload.ltpd in
+  Workload.wait_ready c;
+  let run_slicer () =
+    let sl =
+      Slicer.attach c.Workload.m ~pid:c.Workload.pid
+        ~wanted_out:(Slicelab.wanted_out_of Workload.ltpd) ()
+    in
+    ignore (Workload.rpc c get);
+    Slicer.detach sl;
+    Slicer.slice sl
+  in
+  (match strike site mode (fun () -> ignore (run_slicer ())) with
+  | `Completed | `Killed | `Refused _ -> ());
+  assert_tree_serving ~what:"after slice fault" c;
+  if run_slicer () = [] then
+    failp "clean slicer retry after a %s fault produced an empty slice" site
+
 (* every registered site maps to the scenario that provably reaches it;
    a site without a driver fails the matrix rather than shrinking it *)
 let probe_driver (site : string) : Fault.mode -> unit =
@@ -880,6 +903,7 @@ let probe_driver (site : string) : Fault.mode -> unit =
   | "fleet.shed" -> fleet_shed_probe site
   | "scrub.page" -> scrub_probe site
   | "integrity.repair" -> repair_probe site
+  | "slice.trace" | "slice.compute" -> slice_probe site
   | s -> fun _ -> failp "site %s has no chaos probe — extend Chaos.probe_driver" s
 
 type probe = {

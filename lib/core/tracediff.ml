@@ -53,6 +53,48 @@ let init_blocks ?(keep_module = fun _ -> true) ?(cfg_of = no_cfg)
     n_total_undesired_cov = Covgraph.cardinal gi;
   }
 
+type slice_report = {
+  sliced : Covgraph.block list;  (** covered blocks outside every slice *)
+  n_covered : int;  (** serving coverage, after module filtering *)
+  n_slice_points : int;  (** slice points received *)
+}
+
+(** Slice-based identification (the third candidate class): covered
+    blocks outside every wanted-output slice. [in_slice] is the
+    slicer's output — (module name, dynamic block-start offset, extent
+    in bytes) spans — kept as plain data so the slicer library needn't
+    depend on this one. A static block is in the slice iff some slice
+    span overlaps its byte range: dynamic blocks are maximal
+    fall-through runs, so one span can blanket several static CFG
+    blocks. This refines the coverage diff: a block can be covered by
+    wanted requests yet contribute to no wanted output. *)
+let sliced_away ?(keep_module = fun m -> not (Covgraph.is_shared_library m))
+    ?(cfg_of = no_cfg) ~(covered : Drcov.log list)
+    ~(in_slice : (string * int * int) list) () : slice_report =
+  let g = Covgraph.normalize ~cfg_of (Covgraph.of_logs covered) in
+  let blocks = Covgraph.filter_modules keep_module (Covgraph.blocks g) in
+  let hit (b : Covgraph.block) =
+    List.exists
+      (fun (m, off, len) ->
+        m = b.Covgraph.b_module
+        && off < b.Covgraph.b_off + b.Covgraph.b_size
+        && b.Covgraph.b_off < off + len)
+      in_slice
+  in
+  {
+    sliced = List.filter (fun b -> not (hit b)) blocks;
+    n_covered = List.length blocks;
+    n_slice_points = List.length in_slice;
+  }
+
+let pp_slice_report fmt (r : slice_report) =
+  Format.fprintf fmt
+    "tracediff: %d covered blocks sliced away (%d covered, %d slice points)@."
+    (List.length r.sliced) r.n_covered r.n_slice_points;
+  List.iter
+    (fun b -> Format.fprintf fmt "  %a@." Covgraph.pp_block b)
+    r.sliced
+
 (** Human-readable listing in the style of Figure 4's tool output. *)
 let pp_report fmt (r : report) =
   Format.fprintf fmt

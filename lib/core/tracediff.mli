@@ -33,4 +33,26 @@ val init_blocks :
 (** Initialization-only identification from the two nudge-protocol dumps:
     [blk ∈ CovG_init ∧ blk ∉ CovG_serving]. *)
 
+type slice_report = {
+  sliced : Covgraph.block list;  (** covered blocks outside every slice *)
+  n_covered : int;  (** serving coverage size after module filtering *)
+  n_slice_points : int;
+}
+
+val sliced_away :
+  ?keep_module:(string -> bool) ->
+  ?cfg_of:(string -> Cfg.t option) ->
+  covered:Drcov.log list ->
+  in_slice:(string * int * int) list ->
+  unit ->
+  slice_report
+(** The third candidate class: covered blocks no wanted-output slice
+    touches. [in_slice] is the dataflow slicer's output as plain
+    (module, offset, extent) spans; a block is in the slice iff some
+    span overlaps its byte range. Refines {!feature_blocks}: these
+    blocks ran under wanted requests but contributed to no wanted
+    output. *)
+
+val pp_slice_report : Format.formatter -> slice_report -> unit
+
 val pp_report : Format.formatter -> report -> unit

@@ -20,6 +20,11 @@ type exit_hook = Proc.t -> unit
     (exit, fatal signal) — how a post-cut supervisor notices a worker
     killed by an un-redirected SIGTRAP/SIGILL and respawns it. *)
 
+type insn_hook = Proc.t -> Insn.t -> unit
+(** Called before every decoded instruction executes (registers still
+    hold their pre-execution values, so effective addresses can be
+    recomputed) — the dataflow slicer's input. Int3 traps bypass it. *)
+
 type t = {
   fs : Vfs.t;
   net : Net.t;
@@ -29,6 +34,7 @@ type t = {
   mutable trace : trace_hook option;
   mutable on_syscall : syscall_hook option;
   mutable on_exit : exit_hook option;
+  mutable on_insn : insn_hook option;
   rng : Rng.t;
   syscall_cost : int;  (** extra cycles charged per syscall *)
   mutable spawn_order : int list;  (** pids in creation order, for RR *)
@@ -95,6 +101,7 @@ let create ?(seed = 42) () =
       trace = None;
       on_syscall = None;
       on_exit = None;
+      on_insn = None;
       rng = Rng.create seed;
       syscall_cost = 40;
       spawn_order = [];
@@ -533,6 +540,7 @@ let step_insn t (p : Proc.t) =
       deliver_signal t p ~signum:Abi.sigtrap ~at:rip
   | insn, len -> (
       if p.Proc.block_start = None then p.Proc.block_start <- Some rip;
+      (match t.on_insn with Some hook -> hook p insn | None -> ());
       let next = Int64.add rip (Int64.of_int len) in
       t.clock <- Int64.add t.clock 1L;
       p.Proc.retired <- Int64.add p.Proc.retired 1L;

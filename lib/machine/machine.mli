@@ -15,6 +15,12 @@ type exit_hook = Proc.t -> unit
 (** Fires exactly once when a process dies (exit syscall, fatal signal,
     double fault) — the supervisor's crash-loop detector. *)
 
+type insn_hook = Proc.t -> Insn.t -> unit
+(** Fires before every decoded instruction executes, with registers
+    still holding pre-execution values (effective addresses of its
+    memory operands can be recomputed) — the dataflow slicer's input.
+    Int3 traps take the trap path and bypass it. *)
+
 type t = {
   fs : Vfs.t;
   net : Net.t;
@@ -24,6 +30,7 @@ type t = {
   mutable trace : trace_hook option;
   mutable on_syscall : syscall_hook option;
   mutable on_exit : exit_hook option;
+  mutable on_insn : insn_hook option;
   rng : Rng.t;  (** feeds the guest [rand] syscall *)
   syscall_cost : int;
   mutable spawn_order : int list;

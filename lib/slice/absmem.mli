@@ -1,0 +1,26 @@
+(** Abstract memory for the dynamic slicer: payloads keyed by address
+    ranges with strong-update writes, range splitting, and coalescing of
+    adjacent equal-payload ranges — table size proportional to distinct
+    touched regions, not bytes. *)
+
+type 'a t
+
+val create : ?eq:('a -> 'a -> bool) -> unit -> 'a t
+(** [eq] (default physical equality) decides when adjacent ranges
+    coalesce — pass structural equality for unshared payloads. *)
+
+val write : 'a t -> addr:int64 -> len:int -> 'a -> unit
+(** Strong update: [addr, addr+len) carries exactly the payload
+    afterwards. [len <= 0] is a no-op. *)
+
+val read : 'a t -> addr:int64 -> len:int -> 'a list
+(** Payloads of every range overlapping [addr, addr+len), address
+    order, deduplicated physically. Empty = nothing known there. *)
+
+val ranges : 'a t -> (int64 * int * 'a) list
+(** All ranges as (start, len, payload), sorted by start — disjoint,
+    and no two adjacent ranges with equal payloads (coalescing
+    invariant). *)
+
+val cardinal : 'a t -> int
+val clear : 'a t -> unit

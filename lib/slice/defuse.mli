@@ -1,0 +1,38 @@
+(** Per-instruction def/use tables over the vx86 ISA — one match arm
+    per {!Insn.t} constructor, so a new instruction fails to compile
+    until its dataflow is declared. *)
+
+type access = {
+  a_base : Reg.t;  (** effective address = [a_base] + [a_disp] *)
+  a_disp : int;
+  a_len : int;  (** bytes touched: 1 or 8 *)
+}
+
+type control =
+  | Straight
+  | Jump
+  | Cond_jump
+  | Indirect_jump of Reg.t
+  | Call_push
+  | Indirect_call of Reg.t
+  | Return
+  | Sys
+  | Stop
+
+type effect = {
+  uses : Reg.t list;  (** registers read (address bases included) *)
+  defs : Reg.t list;  (** registers written *)
+  uses_flags : bool;
+  defs_flags : bool;
+  loads : access list;
+  stores : access list;
+  control : control;
+}
+
+val effect : Insn.t -> effect
+(** Total over {!Insn.t}. Syscall buffer memory effects are modelled by
+    the slicer's syscall hook, not here. *)
+
+val all_constructors : Insn.t list
+(** One representative instance per constructor (exhaustiveness test
+    input); its length is the constructor count of {!Insn.t}. *)

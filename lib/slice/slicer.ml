@@ -1,0 +1,476 @@
+(** Dynamic dataflow slicing tracer — the third block-identification
+    mode, alongside the drcov collector's coverage diff.
+
+    Runs as a chained [Machine.on_insn] / [Machine.on_syscall] hook
+    pair over a traced process tree and computes, per storage location
+    (register, flags, abstract memory range), the *dependency set* of
+    dynamic basic blocks whose execution contributed to the location's
+    current value — the forward-propagation formulation of dynamic
+    slicing, which never retains the trace itself. Whenever the guest
+    emits a wanted output (a socket write whose payload satisfies the
+    [wanted_out] predicate), the dependency sets reachable from that
+    output — argument registers, the written buffer's abstract memory,
+    the control context — are folded into the slice. Every covered
+    block outside the final slice ran without ever contributing to a
+    wanted output: the [Sliced_away] cut-candidate class.
+
+    Control dependence uses a per-call-depth control stack: conditional
+    and indirect transfers union their decision's dependencies into the
+    current level (later blocks at that level depend on every decision
+    taken there so far — conservative), calls push the caller's context
+    plus the call site, returns pop. Depsets are hash-consed sorted
+    arrays with memoized pairwise unions, so per-instruction cost is a
+    few table lookups.
+
+    Determinism: everything replays bit-for-bit from the machine's
+    virtual clock and seed, so a slice can be recomputed on demand from
+    a twin run instead of storing traces, and a verifier counterexample
+    (a wrongly sliced block that trapped post-cut) re-joins the slice
+    reproducibly via {!add_counterexample}. *)
+
+(* ---------- hash-consed dependency sets ---------- *)
+
+type set = { sid : int; elts : int array  (** sorted, unique block ids *) }
+
+type pstate = {
+  regdep : set array;  (** 16 GPRs *)
+  mutable flagdep : set;  (** zf/sf/cf/of as one pseudo-location *)
+  mutable ctrl : set array;  (** control stack; index = call depth *)
+  mutable depth : int;
+  mem : set Absmem.t;
+  mutable cur : set;  (** {cur block} as a singleton (empty off-module) *)
+  mutable cur_id : int;  (** dense id of [cur], or -1 off-module *)
+  mutable cur_vaddr : int64;  (** vaddr the current dynamic block began at *)
+  mutable expect_new : bool;  (** next insn starts a new dynamic block *)
+}
+
+type stats = {
+  st_insns : int;  (** instructions traced *)
+  st_blocks_seen : int;  (** distinct dynamic blocks interned *)
+  st_slice_blocks : int;  (** blocks in the slice (incl. counterexamples) *)
+  st_anchors : int;  (** wanted outputs anchored *)
+  st_sets : int;  (** hash-consed depsets interned *)
+  st_mem_ranges : int;  (** live abstract-memory ranges, all procs *)
+  st_counterexamples : int;
+  st_sampled_off : int;  (** sampling decisions that disabled tracing *)
+}
+
+type t = {
+  machine : Machine.t;
+  roots : (int, unit) Hashtbl.t;
+  mutable module_map : (string * int64 * int64) list;
+  (* block interning: (module idx, offset) <-> dense id *)
+  ids : (int * int, int) Hashtbl.t;
+  mutable rev : (int * int) array;
+  mutable nblocks : int;
+  (* dynamic blocks are maximal fall-through runs, so one can span
+     several static CFG blocks; [ext] records the longest extent (in
+     bytes, through the start of the last instruction executed) seen
+     per block id, and {!slice} reports spans so callers can match
+     static blocks by overlap rather than start-point membership *)
+  ext : (int, int) Hashtbl.t;
+  (* depset interning *)
+  sets : (int array, set) Hashtbl.t;
+  mutable nsets : int;
+  unions : (int * int, set) Hashtbl.t;
+  singles : (int, set) Hashtbl.t;
+  empty : set;
+  procs : (int, pstate) Hashtbl.t;
+  wanted_out : string -> bool;
+  mutable slice_deps : set;
+  mutable anchors : int;
+  mutable insns : int;
+  mutable counterexamples : (string * int) list;
+  (* sampled-tracing mode: a fresh seeded decision per accepted
+     connection; gaps under-approximate the slice and are repaid by the
+     verifier counterexample loop *)
+  sample : (Rng.t * float) option;
+  mutable tracing : bool;
+  mutable sampled_off : int;
+  prev_insn : Machine.insn_hook option;
+  prev_syscall : Machine.syscall_hook option;
+  obs_anchors : Obs.counter;
+}
+
+(* ---------- set algebra ---------- *)
+
+let intern t (elts : int array) : set =
+  match Hashtbl.find_opt t.sets elts with
+  | Some s -> s
+  | None ->
+      let s = { sid = t.nsets; elts } in
+      t.nsets <- t.nsets + 1;
+      Hashtbl.add t.sets elts s;
+      s
+
+let singleton t b =
+  match Hashtbl.find_opt t.singles b with
+  | Some s -> s
+  | None ->
+      let s = intern t [| b |] in
+      Hashtbl.add t.singles b s;
+      s
+
+let merge (a : int array) (b : int array) : int array =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then (out.(!k) <- x; incr i)
+    else if y < x then (out.(!k) <- y; incr j)
+    else (out.(!k) <- x; incr i; incr j);
+    incr k
+  done;
+  while !i < na do out.(!k) <- a.(!i); incr i; incr k done;
+  while !j < nb do out.(!k) <- b.(!j); incr j; incr k done;
+  if !k = na + nb then out else Array.sub out 0 !k
+
+let union t (a : set) (b : set) : set =
+  if a == b || Array.length b.elts = 0 then a
+  else if Array.length a.elts = 0 then b
+  else begin
+    let key = if a.sid < b.sid then (a.sid, b.sid) else (b.sid, a.sid) in
+    match Hashtbl.find_opt t.unions key with
+    | Some s -> s
+    | None ->
+        let s = intern t (merge a.elts b.elts) in
+        Hashtbl.add t.unions key s;
+        s
+  end
+
+(* ---------- block identities ---------- *)
+
+let locate t (addr : int64) =
+  let rec go i = function
+    | [] -> None
+    | (_, base, end_) :: _ when addr >= base && addr < end_ ->
+        Some (i, Int64.to_int (Int64.sub addr base))
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.module_map
+
+let intern_block t mid off : int =
+  match Hashtbl.find_opt t.ids (mid, off) with
+  | Some id -> id
+  | None ->
+      let id = t.nblocks in
+      if id >= Array.length t.rev then begin
+        let bigger = Array.make (max 64 (2 * Array.length t.rev)) (0, 0) in
+        Array.blit t.rev 0 bigger 0 (Array.length t.rev);
+        t.rev <- bigger
+      end;
+      t.rev.(id) <- (mid, off);
+      t.nblocks <- id + 1;
+      Hashtbl.add t.ids (mid, off) id;
+      id
+
+(* ---------- per-process state ---------- *)
+
+let fresh_pstate t : pstate =
+  {
+    regdep = Array.make 16 t.empty;
+    flagdep = t.empty;
+    ctrl = Array.make 16 t.empty;
+    depth = 0;
+    mem = Absmem.create ();
+    cur = t.empty;
+    cur_id = -1;
+    cur_vaddr = 0L;
+    expect_new = true;
+  }
+
+let pstate_of t (p : Proc.t) : pstate =
+  match Hashtbl.find_opt t.procs p.Proc.pid with
+  | Some st -> st
+  | None ->
+      let st = fresh_pstate t in
+      Hashtbl.add t.procs p.Proc.pid st;
+      st
+
+let traced t (p : Proc.t) =
+  Hashtbl.mem t.roots p.Proc.pid
+  ||
+  (* follow forks: children of traced processes are traced too *)
+  if Hashtbl.mem t.roots p.Proc.parent then begin
+    Hashtbl.replace t.roots p.Proc.pid ();
+    List.iter
+      (fun (n, lo, hi) ->
+        if not (List.exists (fun (n', _, _) -> n' = n) t.module_map) then
+          t.module_map <- t.module_map @ [ (n, lo, hi) ])
+      (Collector.modules_of_proc p);
+    true
+  end
+  else false
+
+let ctrl_top st = st.ctrl.(st.depth)
+
+let push_ctrl t st (s : set) =
+  let d = st.depth + 1 in
+  if d >= Array.length st.ctrl then begin
+    let bigger = Array.make (2 * Array.length st.ctrl) t.empty in
+    Array.blit st.ctrl 0 bigger 0 (Array.length st.ctrl);
+    st.ctrl <- bigger
+  end;
+  st.ctrl.(d) <- s;
+  st.depth <- d
+
+(* ---------- the per-instruction hook ---------- *)
+
+let on_insn t (p : Proc.t) (insn : Insn.t) =
+  if t.tracing && traced t p then begin
+    let st = pstate_of t p in
+    t.insns <- t.insns + 1;
+    let regs = p.Proc.regs in
+    if st.expect_new then begin
+      (match locate t regs.Proc.rip with
+      | Some (mid, off) ->
+          let id = intern_block t mid off in
+          st.cur <- singleton t id;
+          st.cur_id <- id
+      | None ->
+          st.cur <- t.empty (* anonymous memory; drcov skips it too *);
+          st.cur_id <- -1);
+      st.cur_vaddr <- regs.Proc.rip;
+      st.expect_new <- false
+    end;
+    if st.cur_id >= 0 then begin
+      let rel = Int64.to_int (Int64.sub regs.Proc.rip st.cur_vaddr) + 1 in
+      match Hashtbl.find_opt t.ext st.cur_id with
+      | Some e when e >= rel -> ()
+      | _ -> Hashtbl.replace t.ext st.cur_id rel
+    end;
+    let e = Defuse.effect insn in
+    let ea (a : Defuse.access) =
+      Int64.add (Proc.get regs a.Defuse.a_base) (Int64.of_int a.Defuse.a_disp)
+    in
+    (* the value every def carries: its data sources, the control
+       context that let this instruction run, and the block computing it *)
+    let u = ref (union t st.cur (ctrl_top st)) in
+    List.iter
+      (fun r -> u := union t !u st.regdep.(Reg.to_int r))
+      e.Defuse.uses;
+    if e.Defuse.uses_flags then u := union t !u st.flagdep;
+    List.iter
+      (fun a ->
+        List.iter
+          (fun s -> u := union t !u s)
+          (Absmem.read st.mem ~addr:(ea a) ~len:a.Defuse.a_len))
+      e.Defuse.loads;
+    let u = !u in
+    List.iter (fun r -> st.regdep.(Reg.to_int r) <- u) e.Defuse.defs;
+    if e.Defuse.defs_flags then st.flagdep <- u;
+    List.iter
+      (fun a -> Absmem.write st.mem ~addr:(ea a) ~len:a.Defuse.a_len u)
+      e.Defuse.stores;
+    (match e.Defuse.control with
+    | Defuse.Straight | Defuse.Jump | Defuse.Stop | Defuse.Sys -> ()
+    | Defuse.Cond_jump ->
+        (* blocks after a decision depend on every decision taken at
+           this level so far — union, never overwrite *)
+        st.ctrl.(st.depth) <-
+          union t (ctrl_top st) (union t st.flagdep st.cur)
+    | Defuse.Indirect_jump r ->
+        st.ctrl.(st.depth) <-
+          union t (ctrl_top st) (union t st.regdep.(Reg.to_int r) st.cur)
+    | Defuse.Call_push -> push_ctrl t st (union t (ctrl_top st) st.cur)
+    | Defuse.Indirect_call r ->
+        push_ctrl t st
+          (union t (ctrl_top st) (union t st.regdep.(Reg.to_int r) st.cur))
+    | Defuse.Return -> st.depth <- max 0 (st.depth - 1));
+    if Insn.is_block_end insn then st.expect_new <- true
+  end
+
+(* ---------- the syscall hook: anchors + input modelling ---------- *)
+
+let anchor t (st : pstate) ~(regs : Proc.regs) ~(buf : int64) ~(len : int) =
+  let d = ref (union t st.cur (ctrl_top st)) in
+  List.iter
+    (fun r -> d := union t !d st.regdep.(Reg.to_int r))
+    [ Reg.Rdi; Reg.Rsi; Reg.Rdx ];
+  ignore regs;
+  List.iter
+    (fun s -> d := union t !d s)
+    (if len > 0 then Absmem.read st.mem ~addr:buf ~len else []);
+  t.slice_deps <- union t t.slice_deps !d;
+  t.anchors <- t.anchors + 1;
+  Obs.incr t.obs_anchors
+
+let buf_cap = 65_536
+
+let on_syscall t (p : Proc.t) (nr : int) =
+  if traced t p then begin
+    (* sampled mode: one fresh seeded decision per accept attempt *)
+    (match t.sample with
+    | Some (rng, p_on) when nr = Abi.sys_accept ->
+        let on = Rng.float rng < p_on in
+        if t.tracing && not on then t.sampled_off <- t.sampled_off + 1;
+        t.tracing <- on
+    | _ -> ());
+    (* a new connection is a fresh control context: without this reset,
+       the accept loop's check of the previous handler's return value
+       unions that whole request's dependency set (miss/error arms
+       included) into the loop-depth control cell forever, and every
+       later anchor inherits it — the slice would converge to the
+       coverage. Data still flows across connections through memory;
+       only stale control dependence is dropped. *)
+    (if nr = Abi.sys_accept && t.tracing then
+       match Hashtbl.find_opt t.procs p.Proc.pid with
+       | Some st ->
+           for i = 0 to st.depth do
+             st.ctrl.(i) <- t.empty
+           done;
+           st.flagdep <- t.empty
+       | None -> ());
+    if t.tracing then begin
+      let st = pstate_of t p in
+      let regs = p.Proc.regs in
+      let a1 = Proc.get regs Reg.Rdi
+      and a2 = Proc.get regs Reg.Rsi
+      and a3 = Proc.get regs Reg.Rdx in
+      let is_sock fd =
+        match Hashtbl.find_opt p.Proc.fds (Int64.to_int fd) with
+        | Some (Proc.Fd_sock _) -> true
+        | _ -> false
+      in
+      if (nr = Abi.sys_write || nr = Abi.sys_send) && is_sock a1 then begin
+        let len = min (max 0 (Int64.to_int a3)) buf_cap in
+        let payload =
+          match Mem.read_bytes p.Proc.mem a2 len with
+          | b -> Bytes.to_string b
+          | exception Mem.Fault _ -> ""
+        in
+        if t.wanted_out payload then anchor t st ~regs ~buf:a2 ~len
+      end
+      else if nr = Abi.sys_read || nr = Abi.sys_recv then begin
+        (* bytes arriving from outside the program: defined here, by
+           the receiving block in its control context *)
+        let len = min (max 0 (Int64.to_int a3)) buf_cap in
+        if len > 0 then
+          Absmem.write st.mem ~addr:a2 ~len (union t st.cur (ctrl_top st))
+      end
+    end
+  end
+
+(* ---------- lifecycle ---------- *)
+
+(** Start slicing [pid] (and its future children) on [machine], chained
+    after any hooks already installed. [wanted_out] decides which
+    socket-write payloads count as wanted-feature outputs (the slice
+    anchors). [sample] (rng, probability) enables sampled tracing: each
+    accept attempt re-decides whether tracing is on. *)
+let attach (machine : Machine.t) ~pid ?sample ~(wanted_out : string -> bool)
+    () : t =
+  Fault.site "slice.trace";
+  let p = Machine.proc_exn machine pid in
+  let empty = { sid = 0; elts = [||] } in
+  let t =
+    {
+      machine;
+      roots = Hashtbl.create 4;
+      module_map = Collector.modules_of_proc p;
+      ids = Hashtbl.create 256;
+      rev = Array.make 256 (0, 0);
+      nblocks = 0;
+      ext = Hashtbl.create 256;
+      sets = Hashtbl.create 1024;
+      nsets = 1;
+      unions = Hashtbl.create 4096;
+      singles = Hashtbl.create 256;
+      empty;
+      procs = Hashtbl.create 4;
+      wanted_out;
+      slice_deps = empty;
+      anchors = 0;
+      insns = 0;
+      counterexamples = [];
+      sample;
+      tracing = true;
+      sampled_off = 0;
+      prev_insn = machine.Machine.on_insn;
+      prev_syscall = machine.Machine.on_syscall;
+      obs_anchors = Obs.counter "slice.anchors";
+    }
+  in
+  Hashtbl.add t.sets [||] empty;
+  Hashtbl.replace t.roots pid ();
+  machine.Machine.on_insn <-
+    Some
+      (fun p insn ->
+        (match t.prev_insn with Some h -> h p insn | None -> ());
+        on_insn t p insn);
+  machine.Machine.on_syscall <-
+    Some
+      (fun p nr ->
+        (match t.prev_syscall with Some h -> h p nr | None -> ());
+        on_syscall t p nr);
+  t
+
+(** Stop slicing: restore the chained hooks. The computed state stays
+    readable ({!slice}, {!stats}). *)
+let detach t =
+  t.machine.Machine.on_insn <- t.prev_insn;
+  t.machine.Machine.on_syscall <- t.prev_syscall
+
+(** A verifier false positive: a block we sliced away trapped post-cut,
+    so it does affect the wanted feature. Re-joins the slice (and every
+    future {!slice} computation) and journals the event. *)
+let add_counterexample t ~(module_ : string) ~(off : int) =
+  if not (List.mem (module_, off) t.counterexamples) then begin
+    t.counterexamples <- t.counterexamples @ [ (module_, off) ];
+    Obs.incr (Obs.counter "slice.counterexamples");
+    Obs.event ~kind:"slice"
+      (Printf.sprintf "counterexample %s+0x%x re-joins slice" module_ off)
+  end
+
+let counterexamples t = t.counterexamples
+
+(** The slice: every (module name, offset, extent) span whose dynamic
+    block contributed to a wanted output, plus the verifier
+    counterexamples (extent 1). A dynamic block is a maximal
+    fall-through run, so its span can cross several static CFG blocks;
+    match static blocks against the slice by range overlap. *)
+let slice t : (string * int * int) list =
+  Fault.site "slice.compute";
+  Obs.with_span "slice.compute" @@ fun () ->
+  let name mid =
+    match List.nth_opt t.module_map mid with
+    | Some (n, _, _) -> n
+    | None -> Printf.sprintf "module%d" mid
+  in
+  let of_id id =
+    let mid, off = t.rev.(id) in
+    let len =
+      match Hashtbl.find_opt t.ext id with Some e -> e | None -> 1
+    in
+    (name mid, off, len)
+  in
+  let from_deps = Array.to_list (Array.map of_id t.slice_deps.elts) in
+  List.fold_left
+    (fun acc (m, off) ->
+      if List.exists (fun (m', o', _) -> m' = m && o' = off) acc then acc
+      else acc @ [ (m, off, 1) ])
+    from_deps t.counterexamples
+
+let stats t : stats =
+  {
+    st_insns = t.insns;
+    st_blocks_seen = t.nblocks;
+    st_slice_blocks = List.length (slice t);
+    st_anchors = t.anchors;
+    st_sets = t.nsets;
+    st_mem_ranges =
+      Hashtbl.fold (fun _ st acc -> acc + Absmem.cardinal st.mem) t.procs 0;
+    st_counterexamples = List.length t.counterexamples;
+    st_sampled_off = t.sampled_off;
+  }
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "slicer: %d insns, %d blocks seen, %d in slice (%d anchors, %d \
+     counterexamples), %d depsets, %d mem ranges%s"
+    s.st_insns s.st_blocks_seen s.st_slice_blocks s.st_anchors
+    s.st_counterexamples s.st_sets s.st_mem_ranges
+    (if s.st_sampled_off > 0 then
+       Printf.sprintf ", %d sampled off" s.st_sampled_off
+     else "")

@@ -338,6 +338,8 @@ let known_sites =
     ("fleet.shed", "admission control sheds one over-capacity request");
     ("scrub.page", "verify one resident page digest against the integrity baseline");
     ("integrity.repair", "page-level repair of a diverged resident page from sealed images");
+    ("slice.trace", "attach the dataflow slicing tracer's per-insn/syscall hooks");
+    ("slice.compute", "fold the anchored dependency sets into the final slice");
   ]
 
 (* storage write sites: the only places [Corrupt]/[Enospc]/[Eio] apply —

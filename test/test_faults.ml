@@ -422,6 +422,8 @@ let test_known_sites_registry () =
         "fleet.shed";
         "scrub.page";
         "integrity.repair";
+        "slice.trace";
+        "slice.compute";
       ]
   in
   List.iter

@@ -26,4 +26,5 @@ let () =
       ("fleet", Test_fleet.suite);
       ("integrity", Test_integrity.suite);
       ("chaos", Test_chaos.suite);
+      ("slice", Test_slice.suite);
     ]

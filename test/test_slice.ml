@@ -1,0 +1,291 @@
+(** Tests for lib/slice/: def/use table exhaustiveness over the vx86
+    ISA, abstract-memory properties against a naive byte-map model, the
+    dataflow slicing tracer end-to-end on rkv (including sampled
+    tracing and the counterexample journal), and determinism pinning of
+    the splitmix64 stream every seeded component draws from. *)
+
+(* ---------- Defuse: per-instruction def/use tables ---------- *)
+
+(* The census is the exhaustiveness contract from both sides: [effect]
+   fails to compile when a constructor lacks a match arm, and this
+   count fails when [all_constructors] lags a new constructor. *)
+let test_defuse_census () =
+  Alcotest.(check int)
+    "one sample per Insn.t constructor" 39
+    (List.length Defuse.all_constructors);
+  (* every arm evaluates without raising *)
+  List.iter
+    (fun i -> ignore (Defuse.effect i))
+    Defuse.all_constructors
+
+let test_defuse_control_matches_block_ends () =
+  List.iter
+    (fun i ->
+      let e = Defuse.effect i in
+      let straight = e.Defuse.control = Defuse.Straight in
+      Alcotest.(check bool)
+        (Format.asprintf "control class of %a agrees with is_block_end"
+           Insn.pp i)
+        (not (Insn.is_block_end i))
+        straight)
+    Defuse.all_constructors
+
+let test_defuse_access_widths () =
+  List.iter
+    (fun i ->
+      let e = Defuse.effect i in
+      List.iter
+        (fun (a : Defuse.access) ->
+          if a.Defuse.a_len <> 1 && a.Defuse.a_len <> 8 then
+            Alcotest.failf "%a: access width %d" Insn.pp i a.Defuse.a_len)
+        (e.Defuse.loads @ e.Defuse.stores))
+    Defuse.all_constructors
+
+let test_defuse_spot_checks () =
+  let e = Defuse.effect (Insn.Mov_rr (Reg.Rcx, Reg.Rdx)) in
+  Alcotest.(check bool) "mov defs dst" true (e.Defuse.defs = [ Reg.Rcx ]);
+  Alcotest.(check bool) "mov uses src" true (e.Defuse.uses = [ Reg.Rdx ]);
+  let cmp = Defuse.effect (Insn.Cmp_rr (Reg.Rax, Reg.Rbx)) in
+  Alcotest.(check bool) "cmp defines flags" true cmp.Defuse.defs_flags;
+  Alcotest.(check bool) "cmp leaves regs" true (cmp.Defuse.defs = []);
+  let jcc = Defuse.effect (Insn.Jcc (Insn.Eq, 4)) in
+  Alcotest.(check bool) "jcc reads flags" true jcc.Defuse.uses_flags;
+  Alcotest.(check bool)
+    "jcc is a decision" true
+    (jcc.Defuse.control = Defuse.Cond_jump);
+  let sys = Defuse.effect Insn.Syscall in
+  Alcotest.(check bool)
+    "syscall crosses the kernel boundary" true
+    (sys.Defuse.control = Defuse.Sys);
+  Alcotest.(check bool)
+    "syscall defines rax" true
+    (List.mem Reg.Rax sys.Defuse.defs);
+  let ret = Defuse.effect Insn.Ret in
+  Alcotest.(check bool)
+    "ret pops a control level" true
+    (ret.Defuse.control = Defuse.Return);
+  Alcotest.(check bool)
+    "ret loads the return slot" true
+    (List.exists
+       (fun (a : Defuse.access) -> a.Defuse.a_base = Reg.Rsp)
+       ret.Defuse.loads)
+
+(* ---------- Absmem: range map vs a byte-map model ---------- *)
+
+let test_absmem_strong_update_and_coalescing () =
+  let m = Absmem.create ~eq:( = ) () in
+  Absmem.write m ~addr:0L ~len:8 1;
+  Absmem.write m ~addr:8L ~len:8 1;
+  Alcotest.(check int) "adjacent equal ranges coalesce" 1 (Absmem.cardinal m);
+  Alcotest.(check (list int)) "read sees one payload" [ 1 ]
+    (Absmem.read m ~addr:0L ~len:16);
+  Absmem.write m ~addr:4L ~len:4 2;
+  Alcotest.(check int) "strong update splits" 3 (Absmem.cardinal m);
+  Alcotest.(check (list int))
+    "overwritten span carries the new payload" [ 2 ]
+    (Absmem.read m ~addr:4L ~len:4);
+  Alcotest.(check (list int))
+    "overlap read dedups repeated payloads" [ 1; 2 ]
+    (Absmem.read m ~addr:0L ~len:16);
+  Absmem.write m ~addr:4L ~len:4 1;
+  Alcotest.(check int) "re-equalized ranges re-coalesce" 1 (Absmem.cardinal m);
+  Absmem.clear m;
+  Alcotest.(check int) "clear empties" 0 (Absmem.cardinal m);
+  Alcotest.(check (list int)) "read after clear" []
+    (Absmem.read m ~addr:0L ~len:16)
+
+(* Seeded random write/read workload checked against a per-byte model:
+   the range map must agree with the model byte-for-byte, report
+   disjoint sorted ranges, and never keep two touching ranges with
+   equal payloads. *)
+let test_absmem_model_equivalence () =
+  let rng = Rng.create 11 in
+  let m = Absmem.create ~eq:( = ) () in
+  let model = Hashtbl.create 512 in
+  let span = 160 in
+  let check_invariants () =
+    let rs = Absmem.ranges m in
+    let rec walk = function
+      | (a1, l1, p1) :: ((a2, _, p2) :: _ as rest) ->
+          if Int64.add a1 (Int64.of_int l1) > a2 then
+            Alcotest.failf "ranges overlap at %Ld" a2;
+          if Int64.add a1 (Int64.of_int l1) = a2 && p1 = p2 then
+            Alcotest.failf "uncoalesced equal neighbours at %Ld" a2;
+          walk rest
+      | _ -> ()
+    in
+    walk rs;
+    List.iter
+      (fun (a, l, p) ->
+        if l <= 0 then Alcotest.failf "empty range at %Ld" a;
+        for k = 0 to l - 1 do
+          let addr = Int64.add a (Int64.of_int k) in
+          match Hashtbl.find_opt model addr with
+          | Some q when q = p -> ()
+          | _ -> Alcotest.failf "range byte %Ld disagrees with model" addr
+        done)
+      rs;
+    Hashtbl.iter
+      (fun addr p ->
+        let got = Absmem.read m ~addr ~len:1 in
+        if got <> [ p ] then
+          Alcotest.failf "model byte %Ld missing from ranges" addr)
+      model
+  in
+  for step = 1 to 1_500 do
+    let addr = Int64.of_int (Rng.int rng span) in
+    let len = 1 + Rng.int rng 16 in
+    if Rng.int rng 4 = 0 then begin
+      (* read: same payload set as the model over the window *)
+      let expected = ref [] in
+      for k = 0 to len - 1 do
+        match Hashtbl.find_opt model (Int64.add addr (Int64.of_int k)) with
+        | Some p when not (List.mem p !expected) -> expected := p :: !expected
+        | _ -> ()
+      done;
+      let got = Absmem.read m ~addr ~len in
+      Alcotest.(check (list int))
+        (Printf.sprintf "step %d: read payload set" step)
+        (List.sort_uniq compare !expected)
+        (List.sort_uniq compare got)
+    end
+    else begin
+      let p = Rng.int rng 6 in
+      Absmem.write m ~addr ~len p;
+      for k = 0 to len - 1 do
+        Hashtbl.replace model (Int64.add addr (Int64.of_int k)) p
+      done
+    end;
+    if step mod 250 = 0 then check_invariants ()
+  done;
+  check_invariants ()
+
+(* ---------- Slicer: end-to-end on rkv ---------- *)
+
+let overlaps (b : Covgraph.block) (m, off, len) =
+  m = b.Covgraph.b_module
+  && off < b.Covgraph.b_off + b.Covgraph.b_size
+  && b.Covgraph.b_off < off + len
+
+let test_slicer_end_to_end () =
+  let p = Slicelab.profile Workload.rkv in
+  let st = p.Slicelab.p_stats in
+  Alcotest.(check bool) "traced instructions" true (st.Slicer.st_insns > 0);
+  Alcotest.(check bool) "anchored wanted outputs" true
+    (st.Slicer.st_anchors > 0);
+  Alcotest.(check bool) "nonempty slice" true (p.Slicelab.p_points <> []);
+  Alcotest.(check int) "slice size matches stats" st.Slicer.st_slice_blocks
+    (List.length p.Slicelab.p_points);
+  Alcotest.(check bool) "sliced-away candidates found" true
+    (p.Slicelab.p_blocks <> []);
+  Alcotest.(check bool) "covered blocks counted" true
+    (p.Slicelab.p_report.Tracediff.n_covered > 0);
+  (* the class contract: no candidate block overlaps any slice span *)
+  List.iter
+    (fun b ->
+      if List.exists (overlaps b) p.Slicelab.p_points then
+        Alcotest.failf "sliced-away block %s+0x%x overlaps the slice"
+          b.Covgraph.b_module b.Covgraph.b_off)
+    p.Slicelab.p_report.Tracediff.sliced
+
+let test_slicer_deterministic () =
+  let a = Slicelab.profile ~seed:42 Workload.rkv in
+  let b = Slicelab.profile ~seed:42 Workload.rkv in
+  Alcotest.(check bool) "same seed, same slice points" true
+    (a.Slicelab.p_points = b.Slicelab.p_points);
+  Alcotest.(check bool) "same sliced-away candidates" true
+    (a.Slicelab.p_blocks = b.Slicelab.p_blocks)
+
+let test_slicer_sampled_deterministic () =
+  let run () =
+    Slicelab.profile ~sample:(Rng.create 9, 0.3) Workload.rkv
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "sampling actually skipped connections" true
+    (a.Slicelab.p_stats.Slicer.st_sampled_off > 0);
+  Alcotest.(check int) "same seeded sampling decisions"
+    a.Slicelab.p_stats.Slicer.st_sampled_off
+    b.Slicelab.p_stats.Slicer.st_sampled_off;
+  Alcotest.(check bool) "sampled slice replays bit-for-bit" true
+    (a.Slicelab.p_points = b.Slicelab.p_points)
+
+let test_slicer_counterexample_journal () =
+  let p = Slicelab.profile Workload.rkv in
+  let sl = p.Slicelab.p_slicer in
+  let before = List.length (Slicer.slice sl) in
+  Slicer.add_counterexample sl ~module_:"rkv" ~off:0x7fff00;
+  Slicer.add_counterexample sl ~module_:"rkv" ~off:0x7fff00;
+  let cexs = Slicer.counterexamples sl in
+  Alcotest.(check (list (pair string int)))
+    "counterexamples dedup" [ ("rkv", 0x7fff00) ] cexs;
+  let points = Slicer.slice sl in
+  Alcotest.(check int) "counterexample re-joins once" (before + 1)
+    (List.length points);
+  Alcotest.(check bool) "re-joined with unit extent" true
+    (List.mem ("rkv", 0x7fff00, 1) points);
+  Alcotest.(check int) "stats count it" 1
+    (Slicer.stats sl).Slicer.st_counterexamples
+
+(* After verifier convergence the kept cut is quiescent: more wanted
+   traffic produces no new feedback, so nothing gets spuriously
+   restored (the drift monitor would otherwise see phantom traps). *)
+let test_converged_cut_is_quiescent () =
+  let p = Slicelab.profile Workload.rkv in
+  let v =
+    Slicelab.cut_and_converge Workload.rkv ~blocks:p.Slicelab.p_blocks ()
+  in
+  (match v.Slicelab.v_rollout with
+  | Supervisor.R_promoted -> ()
+  | r ->
+      Alcotest.failf "sliced cut not promoted: %a" Supervisor.pp_rollout r);
+  Alcotest.(check bool) "some candidates survive convergence" true
+    (v.Slicelab.v_kept <> []);
+  List.iter
+    (fun r -> ignore (Workload.rpc v.Slicelab.v_ctx r))
+    (Slicelab.drive_requests Workload.rkv);
+  Alcotest.(check int) "no spurious verifier feedback after convergence" 0
+    (Supervisor.verifier_feedback v.Slicelab.v_sup)
+
+(* ---------- Rng: splitmix64 stream pinning ---------- *)
+
+(* Chaos schedules, sampled slicing and the guest rand syscall all
+   replay from this stream; pin its exact values so an algorithm change
+   cannot silently invalidate recorded seeds. *)
+let test_rng_pinned_stream () =
+  let r = Rng.create 42 in
+  List.iter
+    (fun expected ->
+      Alcotest.(check int64) "splitmix64(seed=42)" expected (Rng.next_i64 r))
+    [
+      0xbdd732262feb6e95L;
+      0x28efe333b266f103L;
+      0x47526757130f9f52L;
+      0x581ce1ff0e4ae394L;
+    ];
+  let r7 = Rng.create 7 in
+  Alcotest.(check (list int))
+    "bounded draws (seed=7)"
+    [ 621; 951; 336; 50; 918; 76 ]
+    (List.init 6 (fun _ -> Rng.int r7 1000))
+
+let suite =
+  [
+    Alcotest.test_case "defuse constructor census" `Quick test_defuse_census;
+    Alcotest.test_case "defuse control vs block ends" `Quick
+      test_defuse_control_matches_block_ends;
+    Alcotest.test_case "defuse access widths" `Quick test_defuse_access_widths;
+    Alcotest.test_case "defuse spot checks" `Quick test_defuse_spot_checks;
+    Alcotest.test_case "absmem strong update + coalescing" `Quick
+      test_absmem_strong_update_and_coalescing;
+    Alcotest.test_case "absmem model equivalence" `Quick
+      test_absmem_model_equivalence;
+    Alcotest.test_case "slicer end-to-end (rkv)" `Quick test_slicer_end_to_end;
+    Alcotest.test_case "slicer determinism" `Quick test_slicer_deterministic;
+    Alcotest.test_case "sampled slicing determinism" `Quick
+      test_slicer_sampled_deterministic;
+    Alcotest.test_case "counterexample journal" `Quick
+      test_slicer_counterexample_journal;
+    Alcotest.test_case "converged cut is quiescent" `Quick
+      test_converged_cut_is_quiescent;
+    Alcotest.test_case "rng pinned stream" `Quick test_rng_pinned_stream;
+  ]
