@@ -266,32 +266,45 @@ let run_fleet () =
   let counts = if !quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
   let requests = if !quick then 60 else 200 in
   let get = Workload.http_get "/index.html" in
-  let throughput =
-    List.map
-      (fun n ->
-        Fault.reset ();
-        let ctxs = Workload.spawn_fleet ~n app in
-        Workload.wait_fleet_ready ctxs;
-        let m = (List.hd ctxs).Workload.m in
-        let pids = List.map (fun c -> c.Workload.pid) ctxs in
-        let fleet = Fleet.create m ~port:Ltpd.port ~pids ~blocks ~policy in
-        let start = m.Machine.clock in
-        let served = ref 0 in
-        for _ = 1 to requests do
-          match Fleet.request fleet get with
-          | `Reply _ -> incr served
-          | `Refused | `Shed | `Timed_out _ -> ()
-        done;
-        let cycles = Int64.sub m.Machine.clock start in
-        let per_mcycle =
-          float_of_int !served /. (Int64.to_float cycles /. 1e6)
-        in
-        Format.fprintf fmt
-          "  workers=%d served=%d/%d cycles=%Ld  %.1f req/Mcycle@." n !served
-          requests cycles per_mcycle;
-        (n, !served, per_mcycle))
-      counts
+  (* each worker count is measured twice on the same closed loop: once
+     on the single-step interpreter, once through the decoded-block code
+     cache (lib/bbcache), whose hit rate is reported alongside *)
+  let measure ~cached n =
+    Fault.reset ();
+    let ctxs = Workload.spawn_fleet ~n app in
+    let m = (List.hd ctxs).Workload.m in
+    let bb = if cached then Some (Bbcache.enable m) else None in
+    Workload.wait_fleet_ready ctxs;
+    let pids = List.map (fun c -> c.Workload.pid) ctxs in
+    let fleet = Fleet.create m ~port:Ltpd.port ~pids ~blocks ~policy in
+    let start = m.Machine.clock in
+    let served = ref 0 in
+    for _ = 1 to requests do
+      match Fleet.request fleet get with
+      | `Reply _ -> incr served
+      | `Refused | `Shed | `Timed_out _ -> ()
+    done;
+    let cycles = Int64.sub m.Machine.clock start in
+    let per_mcycle = float_of_int !served /. (Int64.to_float cycles /. 1e6) in
+    let hit_rate =
+      match bb with
+      | None -> 0.
+      | Some b ->
+          let st = Bbcache.stats b in
+          let lookups = st.Bbcache.st_hits + st.Bbcache.st_decodes in
+          if lookups = 0 then 0.
+          else float_of_int st.Bbcache.st_hits /. float_of_int lookups
+    in
+    (match bb with Some b -> Bbcache.disable b | None -> ());
+    Format.fprintf fmt
+      "  workers=%d %s served=%d/%d cycles=%Ld  %.1f req/Mcycle%s@." n
+      (if cached then "cached" else "interp")
+      !served requests cycles per_mcycle
+      (if cached then Printf.sprintf "  hit-rate %.4f" hit_rate else "");
+    (n, !served, per_mcycle, hit_rate)
   in
+  let interp = List.map (measure ~cached:false) counts in
+  let throughput = List.map (measure ~cached:true) counts in
   (* per-wave rollout pause on a 6-worker fleet *)
   Fault.reset ();
   let wn = 6 and waves = 3 in
@@ -324,16 +337,29 @@ let run_fleet () =
   let oc = open_out "BENCH_fleet.json" in
   Printf.fprintf oc "{\n  \"app\": %S,\n  \"requests\": %d" app.Workload.a_name
     requests;
-  List.iter
-    (fun (n, served, per_mcycle) ->
+  List.iter2
+    (fun (n, served, cached_pm, hit_rate) (_, _, interp_pm, _) ->
       Printf.fprintf oc ",\n  \"served_w%d\": %d,\n  \"req_per_mcycle_w%d\": %.2f"
-        n served n per_mcycle)
-    throughput;
-  (* flat throughput across worker counts is expected for now: every
-     worker steps on the one serialized interpreter (ROADMAP item 1,
-     decoded-block cache + superblock dispatch); the field lets the
-     perf trajectory tell "fan-out broken" from "interpreter-bound" *)
-  Printf.fprintf oc ",\n  \"serialized_interpreter\": true";
+        n served n cached_pm;
+      Printf.fprintf oc ",\n  \"req_per_mcycle_cached_w%d\": %.2f" n cached_pm;
+      Printf.fprintf oc ",\n  \"req_per_mcycle_interp_w%d\": %.2f" n interp_pm;
+      Printf.fprintf oc ",\n  \"cache_hit_rate_w%d\": %.4f" n hit_rate)
+    throughput interp;
+  (* the decoded-block cache (lib/bbcache) retired ROADMAP item 1: the
+     headline req_per_mcycle_wN rows run through superblock dispatch,
+     the _interp rows keep the old single-step baseline visible *)
+  Printf.fprintf oc ",\n  \"serialized_interpreter\": false";
+  let speedup =
+    let pm l = match l with (_, _, x, _) :: _ -> x | [] -> 0. in
+    if pm interp > 0. then pm throughput /. pm interp else 0.
+  in
+  Printf.fprintf oc ",\n  \"speedup_w1\": %.2f" speedup;
+  Format.fprintf fmt "  w1 cached/interp speedup: %.2fx@." speedup;
+  (* ci gate: ci.sh runs `bench --quick fleet`; a code-cache regression
+     below 5x over the interpreter fails the smoke outright *)
+  if speedup < 5. then
+    failwith
+      (Printf.sprintf "bbcache speedup regression: %.2fx < 5x at w1" speedup);
   Printf.fprintf oc ",\n  \"rollout_workers\": %d,\n  \"rollout_waves\": %d" wn
     waves;
   List.iter

@@ -18,7 +18,10 @@ echo "== bench --quick (observability smoke) =="
 dune exec bench/main.exe -- --quick
 
 # Fleet smoke (DESIGN.md §6a): fan-out throughput over a small worker
-# sweep plus the per-wave rollout pause, written to BENCH_fleet.json.
+# sweep — each count measured on the single-step interpreter and through
+# the decoded-block code cache — plus the per-wave rollout pause, written
+# to BENCH_fleet.json. The harness hard-fails if the cached/interp
+# speedup at w1 drops below 5x (code-cache regression gate).
 echo "== bench --quick fleet =="
 dune exec bench/main.exe -- --quick fleet
 

@@ -576,6 +576,48 @@ let scrub_crash site =
    inherits its family's driver automatically — and a site whose family
    has none fails the matrix rather than silently shrinking it, so the
    mapping cannot drift from [Fault.known_sites]. *)
+(* Controller dies inside the decoded-block code cache — entering the
+   dispatch loop (bbcache.dispatch) or evicting blocks over a dirtied
+   code page (bbcache.flush). The cache is execution-only: no
+   transaction is ever open, recovery must invent no work, every pid
+   stays fully original, and the fleet serves again (on the single-step
+   interpreter once the cache is torn down). *)
+let bbcache_crash site =
+  let _ctxs, m, pids, fleet = fleet_boot ~n:2 () in
+  let effective = fleet_effective fleet in
+  let originals = List.map (fleet_byte m (List.hd pids)) effective in
+  let bb = Bbcache.enable m in
+  (* warm the cache so a flush has blocks to evict *)
+  assert_fleet_serving ~site ~what:"cache warm-up" fleet;
+  if site = "bbcache.flush" then
+    (* write a text byte back to itself: contents unchanged, but the
+       page is now dirty and the next dispatch must reach the flush *)
+    List.iter
+      (fun pid ->
+        let p = Machine.proc_exn m pid in
+        let addr =
+          Int64.add (Common.app_exe lapp).Self.base
+            (Int64.of_int (List.hd effective).Covgraph.b_off)
+        in
+        Mem.poke8 p.Proc.mem addr (Mem.peek8 p.Proc.mem addr))
+      pids;
+  Fault.arm ~kill:true site Fault.One_shot;
+  (match Fleet.request fleet lget with
+  | (_ : [ `Reply of int * string | `Refused | `Shed | `Timed_out of int ]) ->
+      fail "%s: controller survived its death" site
+  | exception Fault.Controller_killed _ -> ());
+  assert_fired site;
+  Bbcache.disable bb;
+  let r = Fleet.recover m ~pids in
+  List.iter
+    (fun (pid, a) ->
+      if a <> `Nothing then
+        fail "%s: recovery invented work for quiescent pid %d" site pid)
+    r.Fleet.fr_workers;
+  assert_fleet_xor ~site ~what:"after recover" m pids effective originals
+    ~cut_pids:[];
+  assert_fleet_serving ~site ~what:"after recover" fleet
+
 let family site =
   match String.index_opt site '.' with
   | Some i -> String.sub site 0 i
@@ -607,6 +649,7 @@ let scenario_of_site site =
       | "crit" -> crit site
       | "slice" -> slice_crash site
       | "balancer" | "net" -> balancer_request site
+      | "bbcache" -> bbcache_crash site
       | f ->
           fail "site %s (family %s) has no crash scenario — extend crash_matrix.ml"
             site f)

@@ -66,10 +66,6 @@ let run () : string =
   in
   let wanted_batch = Workload.web_wanted in
   let put_batch = List.init 24 (fun _ -> put) in
-  (* after the storm, delete the uploads everywhere: a leftover upload
-     keeps the store's occupied-slot scan blocks (undesired-only
-     coverage) warm under wanted GETs and would block the re-cut *)
-  let delete_batch = List.init 12 (fun _ -> delete) in
 
   (* -- phase 1: 3-wave rollout; traffic turns PUT-heavy during wave 3 -- *)
   let drive () =
@@ -131,10 +127,16 @@ let run () : string =
   List.iter
     (fun pid -> assert_state ~what:"after reenable" m effective originals pid false)
     pids;
-  spin delete_batch 1 (* warm window: clears uploads, no drift action *);
-  (match !actions with
-  | [ _ ] -> ()
-  | l -> fail "cleanup round acted: %d actions" (List.length l - 1));
+  (* warm window: clear the uploads on every worker. The deletes are
+     routed per-worker directly — the health-scored balancer spreads a
+     fleet batch by load, not position, so a broadcast through it can
+     miss a worker and leave its occupied-slot scan warm under wanted
+     GETs, blocking the re-cut forever *)
+  List.iter (fun c -> ignore (Workload.rpc c delete)) ctxs;
+  (match Fleet.tick fleet with
+  | Some a ->
+      fail "cleanup round acted: %s" (Format.asprintf "%a" Drift.pp_action a)
+  | None -> ());
 
   (* -- phase 3: traffic reverts to wanted; one automatic re-cut -- *)
   actions := [];
@@ -157,6 +159,20 @@ let run () : string =
       let s = status resp in
       if s <> "200" then fail "GET after recut answered %s, not 200" s
   | `Refused | `Shed | `Timed_out _ -> fail "GET after recut refused");
+
+  (* -- epilogue: serve a wanted batch through the decoded-block cache,
+     so the two-run byte-identity check below also pins cached
+     execution (bbcache.* counters included) -- *)
+  let bb = Bbcache.enable m in
+  send wanted_batch;
+  (match Fleet.request fleet (Workload.http_get "/index.html") with
+  | `Reply (_, resp) ->
+      let s = status resp in
+      if s <> "200" then fail "cached GET answered %s, not 200" s
+  | `Refused | `Shed | `Timed_out _ -> fail "cached GET refused");
+  if (Bbcache.stats bb).Bbcache.st_hits = 0 then
+    fail "cached epilogue never hit the code cache";
+  Bbcache.disable bb;
   Obs.dump_json ()
 
 let () =

@@ -1,0 +1,20 @@
+(** Facade for the decoded-block code cache (DESIGN.md "Code cache"):
+    [Block] decodes, [Cache] stores, [Dispatch] executes, [Invalidate]
+    evicts. Consumers normally need only [enable]/[disable] plus the
+    stats accessors. *)
+
+type t = Dispatch.t
+type stats = Dispatch.stats = {
+  st_hits : int;
+  st_decodes : int;
+  st_flushes : int;
+  st_superblocks : int;
+  st_blocks : int;
+}
+
+let enable = Dispatch.enable
+let disable = Dispatch.disable
+let flush_all = Dispatch.flush_all
+let degraded = Dispatch.degraded
+let stats = Dispatch.stats
+let cached_blocks = Dispatch.cached_blocks

@@ -1,0 +1,23 @@
+(** A decoded basic block — the cache unit: instructions pre-decoded once
+    from the entry point through the first block-ending instruction. *)
+
+type slot = { s_insn : Insn.t; s_len : int  (** encoded byte length *) }
+
+type t = {
+  b_start : int64;  (** entry vaddr *)
+  b_size : int;  (** encoded size in bytes *)
+  b_slots : slot array;
+  b_pages : int64 array;  (** page indexes the encoding spans *)
+  mutable b_dead : bool;  (** evicted; linked predecessors must re-dispatch *)
+  mutable b_s1 : t option;  (** direct-linked successors, most recent *)
+  mutable b_s2 : t option;  (** first, and one victim slot *)
+}
+
+val max_slots : int
+(** Block length cap (bounds decode latency; ≤ 2 pages spanned). *)
+
+val decode : Mem.t -> int64 -> t option
+(** Decode the dynamic basic block entered at the address. [None] when
+    the entry byte is an [Int3], unmapped or undecodable — those take
+    the interpreter's trap path so trap accounting stays replay-exact.
+    A mid-block [Int3] or decode failure ends the block before it. *)

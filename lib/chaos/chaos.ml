@@ -879,6 +879,46 @@ let slice_probe site mode =
   if run_slicer () = [] then
     failp "clean slicer retry after a %s fault produced an empty slice" site
 
+(* fault strikes the decoded-block code cache: entering the dispatch
+   loop (bbcache.dispatch) or evicting blocks over a dirtied code page
+   (bbcache.flush). The cache is an execution accelerator only, so the
+   contract is strict: a Fail degrades to the single-step interpreter
+   (same replies, never a stale block), a Delay just slows the quantum,
+   and after any outcome the fleet keeps serving and stays XOR-clean *)
+let bbcache_probe site mode =
+  let _ctxs, m, pids, fleet, oracle = fleet_setup ~n:2 () in
+  let bb = Bbcache.enable m in
+  (match Fleet.request fleet get with
+  | `Reply (_, resp) when status resp = "200" -> ()
+  | _ -> failp "cache warm-up request failed");
+  (* touching a text byte (same value back) marks the page dirty, so the
+     very next dispatch must reach the flush path *)
+  let dirty_text () =
+    List.iter
+      (fun pid ->
+        let p = Machine.proc_exn m pid in
+        let b = List.hd oracle.Oracle.oc_blocks in
+        let addr =
+          Int64.add oracle.Oracle.oc_base (Int64.of_int b.Covgraph.b_off)
+        in
+        Mem.poke8 p.Proc.mem addr (Mem.peek8 p.Proc.mem addr))
+      pids
+  in
+  let (_ : [ `Completed | `Killed | `Refused of string ]) =
+    strike site mode (fun () ->
+        if site = "bbcache.flush" then dirty_text ();
+        match Fleet.request fleet get with
+        | `Reply (_, resp) when status resp = "200" -> ()
+        | _ -> failp "request failed under a %s fault" site)
+  in
+  (* whichever way the fault went — cached, degraded or freshly
+     recovered — the very next request must still serve *)
+  (match Fleet.request fleet get with
+  | `Reply (_, resp) when status resp = "200" -> ()
+  | _ -> failp "request failed after the %s fault" site);
+  Bbcache.disable bb;
+  fleet_finish m pids oracle ~plan:[] ~serving_fleet:fleet
+
 (* every registered site maps to the scenario that provably reaches it;
    a site without a driver fails the matrix rather than shrinking it *)
 let probe_driver (site : string) : Fault.mode -> unit =
@@ -904,6 +944,7 @@ let probe_driver (site : string) : Fault.mode -> unit =
   | "scrub.page" -> scrub_probe site
   | "integrity.repair" -> repair_probe site
   | "slice.trace" | "slice.compute" -> slice_probe site
+  | "bbcache.dispatch" | "bbcache.flush" -> bbcache_probe site
   | s -> fun _ -> failp "site %s has no chaos probe — extend Chaos.probe_driver" s
 
 type probe = {

@@ -41,6 +41,15 @@ type t = {
   obs_steps : Obs.counter;  (** cached registry handles: the interpreter *)
   obs_traps : Obs.counter;  (** bumps these once per event, so the lookup *)
   obs_syscalls : Obs.counter;  (** cost is paid at [create], not per insn *)
+  mutable cycle_frac : int;
+      (** sub-cycle accumulator for cached execution: pre-decoded
+          instructions cost 1/32 cycle each, carried into [clock] *)
+  mutable exec_cached : (Proc.t -> fuel:int -> int) option;
+      (** installed by the decoded-block code cache ([Bbcache.enable]):
+          run [p] for up to [fuel] instructions out of the cache,
+          returning the number executed (0 = fall back to single-step).
+          The scheduler only consults it while no [on_insn] hook is
+          installed — per-instruction fidelity (the slicer) always wins *)
 }
 
 (* Flip one seeded bit in a resident page of an immutable (non-writable)
@@ -108,6 +117,8 @@ let create ?(seed = 42) () =
       obs_steps = Obs.counter "machine.steps";
       obs_traps = Obs.counter "machine.traps";
       obs_syscalls = Obs.counter "machine.syscalls";
+      cycle_frac = 0;
+      exec_cached = None;
     }
   in
   (* the registry's event/span timestamps follow this machine's virtual
@@ -511,38 +522,29 @@ let set_test_flags (regs : Proc.regs) a b =
   regs.Proc.cf <- false;
   regs.Proc.of_ <- false
 
-(** Execute exactly one instruction of [p]; assumes [p] runnable. *)
-let step_insn t (p : Proc.t) =
+(** Execute one already-decoded instruction of [p] (anything but [Int3],
+    which never enters the code cache); assumes [p] runnable. [cached]
+    selects the cost model only: interpreted instructions cost one cycle,
+    pre-decoded ones 1/32 (decode was paid once, when the block was
+    built). Every other effect — block bookkeeping, trace/insn hooks,
+    [Obs] counters, signal delivery — is identical in both modes, which
+    is what keeps cached runs replay-exact against interpreted ones. *)
+let exec_decoded t (p : Proc.t) insn len ~cached =
   let regs = p.Proc.regs in
   let rip = regs.Proc.rip in
   let mem = p.Proc.mem in
-  match
-    Decode.decode (fun i -> Mem.fetch8 mem (Int64.add rip (Int64.of_int i)))
-  with
-  | exception Mem.Fault (a, _) ->
-      ignore a;
-      deliver_signal t p ~signum:Abi.sigsegv ~at:rip
-  | exception Decode.Invalid_opcode _ ->
-      deliver_signal t p ~signum:Abi.sigill ~at:rip
-  | Insn.Int3, _ ->
-      (* breakpoint: saved rip = the int3 itself, so a verifier handler can
-         restore the original byte and simply sigreturn to retry (§3.2.3) *)
-      t.clock <- Int64.add t.clock 1L;
-      Obs.incr t.obs_traps;
-      if Obs.enabled () then begin
-        Obs.incr
-          (Obs.counter
-             ~labels:[ ("pid", string_of_int p.Proc.pid) ]
-             "machine.traps");
-        Obs.event ~kind:"trap"
-          (Printf.sprintf "pid=%d comm=%s rip=0x%Lx" p.Proc.pid p.Proc.comm rip)
-      end;
-      deliver_signal t p ~signum:Abi.sigtrap ~at:rip
-  | insn, len -> (
+  (
       if p.Proc.block_start = None then p.Proc.block_start <- Some rip;
       (match t.on_insn with Some hook -> hook p insn | None -> ());
       let next = Int64.add rip (Int64.of_int len) in
-      t.clock <- Int64.add t.clock 1L;
+      (if cached then begin
+         t.cycle_frac <- t.cycle_frac + 1;
+         if t.cycle_frac >= 32 then begin
+           t.cycle_frac <- 0;
+           t.clock <- Int64.add t.clock 1L
+         end
+       end
+       else t.clock <- Int64.add t.clock 1L);
       p.Proc.retired <- Int64.add p.Proc.retired 1L;
       Obs.incr t.obs_steps;
       let g r = Proc.get regs r and s r v = Proc.set regs r v in
@@ -707,6 +709,34 @@ let step_insn t (p : Proc.t) =
             | Sigret -> ())
       with Mem.Fault (_, _) -> deliver_signal t p ~signum:Abi.sigsegv ~at:rip)
 
+(** Execute exactly one instruction of [p]; assumes [p] runnable. *)
+let step_insn t (p : Proc.t) =
+  let rip = p.Proc.regs.Proc.rip in
+  let mem = p.Proc.mem in
+  match
+    Decode.decode (fun i -> Mem.fetch8 mem (Int64.add rip (Int64.of_int i)))
+  with
+  | exception Mem.Fault (a, _) ->
+      ignore a;
+      deliver_signal t p ~signum:Abi.sigsegv ~at:rip
+  | exception Decode.Invalid_opcode _ ->
+      deliver_signal t p ~signum:Abi.sigill ~at:rip
+  | Insn.Int3, _ ->
+      (* breakpoint: saved rip = the int3 itself, so a verifier handler can
+         restore the original byte and simply sigreturn to retry (§3.2.3) *)
+      t.clock <- Int64.add t.clock 1L;
+      Obs.incr t.obs_traps;
+      if Obs.enabled () then begin
+        Obs.incr
+          (Obs.counter
+             ~labels:[ ("pid", string_of_int p.Proc.pid) ]
+             "machine.traps");
+        Obs.event ~kind:"trap"
+          (Printf.sprintf "pid=%d comm=%s rip=0x%Lx" p.Proc.pid p.Proc.comm rip)
+      end;
+      deliver_signal t p ~signum:Abi.sigtrap ~at:rip
+  | insn, len -> exec_decoded t p insn len ~cached:false
+
 let step t (p : Proc.t) =
   step_insn t p;
   (* exit-syscall and hlt deaths bypass deliver_signal *)
@@ -780,8 +810,22 @@ let run t ~max_cycles =
                 !budget > 0 && p.Proc.state = Proc.Runnable && (not p.Proc.frozen)
                 && t.clock < deadline
               do
-                step t p;
-                decr budget
+                match t.exec_cached with
+                | Some exec when t.on_insn = None -> (
+                    (* decoded-block dispatch; per-insn hooks (the slicer)
+                       force the single-step interpreter *)
+                    match exec p ~fuel:!budget with
+                    | 0 ->
+                        (* cache declined (int3 at rip, fault, injected
+                           dispatch fault): single-step this one *)
+                        step t p;
+                        decr budget
+                    | n ->
+                        budget := !budget - n;
+                        notify_exit t p)
+                | _ ->
+                    step t p;
+                    decr budget
               done)
             rs;
           loop ()

@@ -39,6 +39,15 @@ type t = {
           per-instruction bump costs a field write, not a name lookup *)
   obs_traps : Obs.counter;
   obs_syscalls : Obs.counter;
+  mutable cycle_frac : int;
+      (** sub-cycle accumulator for cached execution: pre-decoded
+          instructions cost 1/32 cycle each, carried into [clock] *)
+  mutable exec_cached : (Proc.t -> fuel:int -> int) option;
+      (** installed by the decoded-block code cache ([Bbcache.enable]):
+          run the process for up to [fuel] instructions out of the cache,
+          returning how many executed (0 = fall back to one interpreter
+          step). Consulted by {!run} only while [on_insn] is [None] —
+          per-instruction fidelity (the slicer) always wins. *)
 }
 
 val create : ?seed:int -> unit -> t
@@ -86,6 +95,16 @@ exception Seccomp_denied
 
 val step : t -> Proc.t -> unit
 (** Execute exactly one instruction (assumes the process is runnable). *)
+
+val exec_decoded : t -> Proc.t -> Insn.t -> int -> cached:bool -> unit
+(** Execute one already-decoded instruction (anything but [Int3], which
+    never enters the code cache) of byte length [len]; assumes the
+    process is runnable and its rip is the instruction's address.
+    [cached] selects the cost model only — 1 cycle interpreted, 1/32
+    cycle pre-decoded; every other effect (block bookkeeping,
+    trace/insn hooks, [Obs] counters, signal delivery) is identical in
+    both modes, which keeps cached runs replay-exact. The decoded-block
+    cache is the only intended caller with [~cached:true]. *)
 
 val run : t -> max_cycles:int -> [ `Budget | `Dead | `Idle ]
 (** Round-robin scheduling until the budget runs out ([`Budget]), every

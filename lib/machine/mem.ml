@@ -36,6 +36,13 @@ type page = {
 type t = {
   pages : (int64, page) Hashtbl.t;  (** page index -> page *)
   mutable vmas : vma list;  (** sorted by start *)
+  exec_dirty : (int64, unit) Hashtbl.t;
+      (** page indexes of executable pages modified since the last drain —
+          the precise invalidation signal the decoded-block code cache
+          consumes: any store, poke, bit flip, reprotect or unmap that
+          touches an executable page lands its index here, and the cache
+          dispatcher evicts exactly the blocks overlapping these pages
+          before running another cached block *)
 }
 
 let page_size = 4096
@@ -44,7 +51,17 @@ let page_index (addr : int64) = Int64.div addr page_size64
 let page_base (addr : int64) = Int64.mul (page_index addr) page_size64
 let page_offset (addr : int64) = Int64.to_int (Int64.rem addr page_size64)
 
-let create () = { pages = Hashtbl.create 256; vmas = [] }
+let create () =
+  { pages = Hashtbl.create 256; vmas = []; exec_dirty = Hashtbl.create 8 }
+
+let mark_exec_dirty t idx = Hashtbl.replace t.exec_dirty idx ()
+let exec_dirty_pending t = Hashtbl.length t.exec_dirty > 0
+
+(** Return the dirtied executable page indexes and clear the set. *)
+let take_exec_dirty t =
+  let l = Hashtbl.fold (fun k () acc -> k :: acc) t.exec_dirty [] in
+  Hashtbl.reset t.exec_dirty;
+  l
 
 let align_up n = (n + page_size - 1) / page_size * page_size
 
@@ -110,7 +127,11 @@ let unmap t ~vaddr ~len =
   t.vmas <- List.sort (fun a b -> compare a.va_start b.va_start) (keep @ fragments);
   let npages = len / page_size in
   for i = 0 to npages - 1 do
-    Hashtbl.remove t.pages (Int64.add (page_index vaddr) (Int64.of_int i))
+    let idx = Int64.add (page_index vaddr) (Int64.of_int i) in
+    (match Hashtbl.find_opt t.pages idx with
+    | Some p when p.pg_prot.Self.p_x -> mark_exec_dirty t idx
+    | _ -> ());
+    Hashtbl.remove t.pages idx
   done
 
 let protect t ~vaddr ~len ~prot =
@@ -158,8 +179,11 @@ let protect t ~vaddr ~len ~prot =
       t.vmas;
   let npages = len / page_size in
   for i = 0 to npages - 1 do
-    match Hashtbl.find_opt t.pages (Int64.add (page_index vaddr) (Int64.of_int i)) with
-    | Some p -> p.pg_prot <- prot
+    let idx = Int64.add (page_index vaddr) (Int64.of_int i) in
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        if p.pg_prot.Self.p_x || prot.Self.p_x then mark_exec_dirty t idx;
+        p.pg_prot <- prot
     | None -> ()
   done
 
@@ -189,6 +213,7 @@ let fetch8 t addr =
 let write8 t addr v =
   let p = get_page t addr Write in
   p.pg_gen <- p.pg_gen + 1;
+  if p.pg_prot.Self.p_x then mark_exec_dirty t (page_index addr);
   Bytes.set p.pg_data (page_offset addr) (Char.chr (v land 0xff))
 
 (** Raw write ignoring protections — used only by the loader and by
@@ -198,6 +223,7 @@ let poke8 t addr v =
   | None -> raise (Fault (addr, Write))
   | Some p ->
       p.pg_gen <- p.pg_gen + 1;
+      if p.pg_prot.Self.p_x then mark_exec_dirty t (page_index addr);
       Bytes.set p.pg_data (page_offset addr) (Char.chr (v land 0xff))
 
 let peek8 t addr =
@@ -222,6 +248,7 @@ let write64 t addr (v : int64) =
   if page_offset addr <= page_size - 8 then (
     let p = get_page t addr Write in
     p.pg_gen <- p.pg_gen + 1;
+    if p.pg_prot.Self.p_x then mark_exec_dirty t (page_index addr);
     Bytes.set_int64_le p.pg_data (page_offset addr) v)
   else
     for i = 0 to 7 do
@@ -271,7 +298,8 @@ let copy t =
       Hashtbl.replace pages k
         { pg_data = Bytes.copy p.pg_data; pg_prot = p.pg_prot; pg_gen = p.pg_gen })
     t.pages;
-  { pages; vmas = t.vmas }
+  (* a fresh address space has no cached blocks, so it starts clean *)
+  { pages; vmas = t.vmas; exec_dirty = Hashtbl.create 8 }
 
 (** Populated pages of a VMA, as (vaddr, bytes) in address order. *)
 let pages_of_vma t (v : vma) =
@@ -322,6 +350,7 @@ let flip_bit t ~addr ~bit =
   | Some p ->
       let off = page_offset addr in
       p.pg_gen <- p.pg_gen + 1;
+      if p.pg_prot.Self.p_x then mark_exec_dirty t (page_index addr);
       Bytes.set p.pg_data off
         (Char.chr (Char.code (Bytes.get p.pg_data off) lxor (1 lsl bit)))
 

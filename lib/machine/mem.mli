@@ -28,7 +28,14 @@ type page = {
           scrubber uses to skip provably-unchanged pages cheaply *)
 }
 
-type t = { pages : (int64, page) Hashtbl.t; mutable vmas : vma list }
+type t = {
+  pages : (int64, page) Hashtbl.t;
+  mutable vmas : vma list;
+  exec_dirty : (int64, unit) Hashtbl.t;
+      (** page indexes of executable pages modified since the last
+          {!take_exec_dirty} — the precise invalidation signal for the
+          decoded-block code cache *)
+}
 
 val page_size : int
 val page_size64 : int64
@@ -111,3 +118,12 @@ val flip_bit : t -> addr:int64 -> bit:int -> unit
 
 val find_free : t -> hint:int64 -> len:int -> int64
 (** First page-aligned gap of [len] bytes at or after [hint]. *)
+
+(** {2 Executable-page dirty tracking (code-cache invalidation)} *)
+
+val exec_dirty_pending : t -> bool
+(** Whether any executable page was modified since the last drain. O(1);
+    the cache dispatcher polls this at every block boundary. *)
+
+val take_exec_dirty : t -> int64 list
+(** Dirtied executable page indexes since the last call; clears the set. *)

@@ -340,6 +340,8 @@ let known_sites =
     ("integrity.repair", "page-level repair of a diverged resident page from sealed images");
     ("slice.trace", "attach the dataflow slicing tracer's per-insn/syscall hooks");
     ("slice.compute", "fold the anchored dependency sets into the final slice");
+    ("bbcache.dispatch", "enter the decoded-block code cache's dispatch loop for a quantum");
+    ("bbcache.flush", "evict cached blocks overlapping dirtied executable pages");
   ]
 
 (* storage write sites: the only places [Corrupt]/[Enospc]/[Eio] apply —

@@ -27,4 +27,5 @@ let () =
       ("integrity", Test_integrity.suite);
       ("chaos", Test_chaos.suite);
       ("slice", Test_slice.suite);
+      ("bbcache", Test_bbcache.suite);
     ]
